@@ -1,0 +1,34 @@
+"""Benchmark fixtures: shared experiment setup and result persistence.
+
+Every benchmark regenerates one paper table/figure, prints the rows the
+paper reports and writes them under ``benchmarks/results/`` so
+EXPERIMENTS.md can reference a stable artefact.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import ExperimentSetup
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def setup() -> ExperimentSetup:
+    """The shared seeded market/catalogue for all simulation benchmarks."""
+    return ExperimentSetup(seed=42, trace_days=30)
+
+
+@pytest.fixture(scope="session")
+def save_result():
+    """Persist a rendered experiment table and echo it to stdout."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _save(name: str, rendered: str) -> None:
+        (RESULTS_DIR / f"{name}.txt").write_text(rendered + "\n")
+        print(f"\n{rendered}\n")
+
+    return _save

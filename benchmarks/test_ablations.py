@@ -1,0 +1,88 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Not paper figures — these probe the sensitivity of Hourglass's design
+parameters: the Daly checkpoint interval, the micro-partition count, and
+the §9 eviction-warning extension.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import ablations
+
+
+def test_ablation_checkpoint_interval(benchmark, setup, save_result):
+    rows = benchmark.pedantic(
+        ablations.checkpoint_interval_ablation,
+        kwargs={"setup": setup, "num_simulations": 8},
+        rounds=1,
+        iterations=1,
+    )
+    save_result(
+        "ablation_checkpoint_interval",
+        ablations.render(rows, "Ablation — checkpoint interval vs Daly optimum (GC, 50% slack)"),
+    )
+    by_scale = {r["interval_scale"]: r for r in rows}
+    # Hourglass never misses regardless of the interval choice (the
+    # slack model caps segments independently).
+    assert all(r["missed%"] == 0 for r in rows)
+    # Daly's optimum stays within simulation noise of the best choice
+    # and clearly beats gross under-checkpointing.
+    best = min(r["norm_cost"] for r in rows)
+    assert by_scale[1.0]["norm_cost"] <= best + 0.15
+    worst = max(r["norm_cost"] for r in rows)
+    assert by_scale[1.0]["norm_cost"] <= worst
+
+
+def test_ablation_micro_count(benchmark, save_result):
+    rows = benchmark.pedantic(
+        ablations.micro_count_ablation, kwargs={"seed": 42}, rounds=1, iterations=1
+    )
+    save_result(
+        "ablation_micro_count",
+        ablations.render(rows, "Ablation — micro-partition count vs clustering quality"),
+    )
+    by_count = {r["micro_parts"]: r for r in rows}
+    # More shards -> bigger quotient graphs (more online clustering work).
+    assert by_count[256]["quotient_edges"] > by_count[16]["quotient_edges"]
+    # Quality headroom improves (or holds) as the shard count grows.
+    assert by_count[256]["micro_cut%"] <= by_count[16]["micro_cut%"] + 1.0
+    # Even 16 shards stay in the same regime as the direct partitioner.
+    assert by_count[64]["micro_cut%"] < by_count[64]["direct_cut%"] + 15.0
+
+
+def test_ablation_phase_skew(benchmark, setup, save_result):
+    """Footnote 2 made concrete: the deadline guarantee needs an honest
+    progress metric.  With phases skewed against the uniform-pace model,
+    time-based work accounting preserves zero misses while naive raw
+    accounting breaks the guarantee."""
+    rows = benchmark.pedantic(
+        ablations.phase_skew_ablation,
+        kwargs={"setup": setup, "num_simulations": 8},
+        rounds=1,
+        iterations=1,
+    )
+    save_result(
+        "ablation_phase_skew",
+        ablations.render(rows, "Ablation — phase skew vs work accounting (GC, 20% slack)"),
+    )
+    by_mode = {r["accounting"]: r for r in rows}
+    assert by_mode["time"]["missed%"] == 0
+    assert by_mode["raw"]["missed%"] > 0
+
+
+def test_ablation_warning(benchmark, setup, save_result):
+    rows = benchmark.pedantic(
+        ablations.warning_ablation,
+        kwargs={"setup": setup, "num_simulations": 8},
+        rounds=1,
+        iterations=1,
+    )
+    save_result(
+        "ablation_warning",
+        ablations.render(rows, "Ablation — eviction warning lead (eager strategy, GC)"),
+    )
+    base = rows[0]
+    warned = rows[-1]
+    assert base["warning_s"] == 0
+    # A warning can only help (cost and losses shrink or hold).
+    assert warned["norm_cost"] <= base["norm_cost"] * 1.05

@@ -1,0 +1,42 @@
+"""Regenerates Figure 1: the provisioning dilemma (GC, 6-hour period).
+
+Paper reference points (normalized cost / missed deadlines):
+eager 0.37 / 79 %; Hourglass-Naive 0.77 / 0 %; Slack-Aware 0.57 / 0 %;
+Slack-Aware + Fast Reload 0.37 / 0 %.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fig1_motivation
+
+NUM_SIMULATIONS = 25
+
+
+def test_fig1_motivation(benchmark, setup, save_result):
+    results = benchmark.pedantic(
+        fig1_motivation.run,
+        kwargs={"setup": setup, "num_simulations": NUM_SIMULATIONS},
+        rounds=1,
+        iterations=1,
+    )
+    save_result("fig1_motivation", fig1_motivation.render(results))
+
+    by_name = {r.strategy: r for r in results}
+    eager = by_name["eager"]
+    naive = by_name["hourglass-naive"]
+    slack_aware = by_name["slack-aware"]
+    full = by_name["slack-aware+fast-reload"]
+
+    # Shape assertions from the paper's Figure 1.
+    assert eager.missed_percent > 30, "eager must miss deadlines often"
+    assert naive.missed_percent == 0
+    assert slack_aware.missed_percent == 0
+    assert full.missed_percent == 0
+    assert eager.normalized_cost < 0.6, "eager achieves large savings"
+    assert full.normalized_cost < naive.normalized_cost, (
+        "full Hourglass beats the naive DP fallback"
+    )
+    assert full.normalized_cost <= slack_aware.normalized_cost + 0.05, (
+        "fast reload must not hurt the slack-aware strategy"
+    )
+    assert full.normalized_cost < 0.6, "full Hourglass achieves ~60% savings"

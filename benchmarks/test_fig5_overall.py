@@ -1,0 +1,57 @@
+"""Regenerates Figure 5: the 30-scenario comparison with the state of the art.
+
+Paper shape: Hourglass misses no deadline in any cell and its cost
+approaches (short jobs: beats) the deadline-oblivious greedy systems;
+Proteus/SpotOn miss heavily on the 4-hour GC job; the +DP variants meet
+deadlines but save little at small slacks.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig5_overall
+
+SLACKS = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0)
+SIMULATIONS = {"sssp": 25, "pagerank": 25, "coloring": 10}
+
+
+@pytest.mark.parametrize("app", ["sssp", "pagerank", "coloring"])
+def test_fig5_overall(benchmark, setup, save_result, app):
+    results = benchmark.pedantic(
+        fig5_overall.run,
+        kwargs={
+            "setup": setup,
+            "apps": (app,),
+            "slacks": SLACKS,
+            "num_simulations": SIMULATIONS[app],
+        },
+        rounds=1,
+        iterations=1,
+    )
+    save_result(f"fig5_overall_{app}", fig5_overall.render(results))
+
+    # Hard invariants: deadline-safe strategies never miss.
+    assert fig5_overall.check_invariants(results) == []
+
+    hourglass = [r for r in results if r.strategy == "hourglass"]
+    greedy = [r for r in results if r.strategy in ("spoton", "proteus")]
+
+    # Hourglass always saves versus on-demand.
+    for cell in hourglass:
+        assert cell.normalized_cost < 1.0
+
+    if app == "coloring":
+        # Long jobs: greedy strategies miss deadlines at small slack.
+        low_slack_greedy = [c for c in greedy if c.slack_percent <= 30]
+        assert max(c.missed_percent for c in low_slack_greedy) > 20
+        # Savings grow with slack for Hourglass.
+        by_slack = {c.slack_percent: c.normalized_cost for c in hourglass}
+        assert by_slack[100] < by_slack[10]
+    if app == "sssp":
+        # Short jobs: fast reload makes Hourglass the cheapest strategy.
+        for slack in (10, 50, 100):
+            hg = next(c for c in hourglass if c.slack_percent == slack)
+            for g in greedy:
+                if g.slack_percent == slack:
+                    assert hg.normalized_cost <= g.normalized_cost + 0.02

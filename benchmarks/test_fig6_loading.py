@@ -1,0 +1,58 @@
+"""Regenerates Figure 6: loading times of Stream/Hash/Micro loaders.
+
+Paper shape: the micro loader is 10-80x faster than the stream loader
+and 3-65x faster than the hash loader, with the gap growing with the
+dataset size; the hash loader suffers most at small machine counts.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fig6_loading
+
+
+def test_fig6_loading(benchmark, save_result):
+    cells = benchmark.pedantic(fig6_loading.run, rounds=1, iterations=1)
+    save_result("fig6_loading", fig6_loading.render(cells))
+
+    by_key = {(c.dataset, c.strategy, c.machines): c.seconds for c in cells}
+    for dataset in fig6_loading.DATASETS:
+        for machines in fig6_loading.MACHINE_COUNTS:
+            micro = by_key[(dataset, "micro", machines)]
+            hashed = by_key[(dataset, "hash", machines)]
+            stream = by_key[(dataset, "stream", machines)]
+            assert micro < hashed < stream
+
+    speedups = {r["dataset"]: r for r in fig6_loading.speedups(cells)}
+    # Biggest dataset shows the biggest micro advantage (paper: 79.6x).
+    assert speedups["twitter"]["micro_vs_stream"] > 40
+    assert speedups["orkut"]["micro_vs_stream"] > 5
+    assert (
+        speedups["twitter"]["micro_vs_stream"]
+        > speedups["orkut"]["micro_vs_stream"]
+    )
+    # Hash is better than stream but still an order behind micro on the
+    # largest graphs.
+    assert speedups["twitter"]["micro_vs_hash"] > 5
+
+
+def test_fig6_functional_loaders(benchmark):
+    """The actual loader implementations agree with the model's ordering."""
+    from repro.engine.loader import HashLoader, MicroLoader, StreamLoader
+    from repro.graph.datasets import get_dataset
+    from repro.partitioning import FennelPartitioner, MicroPartitioner
+
+    graph = get_dataset("orkut").generate(seed=42)
+    artefact = MicroPartitioner(num_micro_parts=16).build(graph, seed=1)
+
+    def load_all():
+        return (
+            StreamLoader(FennelPartitioner()).load(graph, 4, seed=1),
+            HashLoader().load(graph, 4),
+            MicroLoader(artefact).load(graph, 4, seed=1),
+        )
+
+    stream, hashed, micro = benchmark.pedantic(load_all, rounds=1, iterations=1)
+    assert micro.simulated_seconds < hashed.simulated_seconds
+    assert hashed.simulated_seconds < stream.simulated_seconds
+    for result in (stream, hashed, micro):
+        assert result.partitioning.num_parts == 4

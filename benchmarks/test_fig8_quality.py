@@ -1,0 +1,41 @@
+"""Regenerates Figure 8: partition quality of micro-partition clustering.
+
+Paper shape: clustering 64 micro-partitions costs only a few percentage
+points of edge cut versus running the base partitioner from scratch
+(METIS +1.7-5 %, FENNEL +4.2-7.7 % on average), and both stay far below
+random placement (1 - 1/k).
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fig8_quality
+
+
+def test_fig8_quality(benchmark, save_result):
+    cells = benchmark.pedantic(
+        fig8_quality.run, kwargs={"seed": 42}, rounds=1, iterations=1
+    )
+    save_result("fig8_quality", fig8_quality.render(cells))
+
+    # Micro clustering stays near the base partitioner...
+    degradations = [
+        c.degradation_percent for c in cells if c.num_parts < fig8_quality.NUM_MICRO_PARTS
+    ]
+    mean_degradation = sum(degradations) / len(degradations)
+    assert mean_degradation < 10.0, (
+        f"mean micro-clustering degradation {mean_degradation:.1f}% too high"
+    )
+
+    # ...and beats random placement on the structured graphs for METIS.
+    structured = [
+        c
+        for c in cells
+        if c.base == "metis" and c.dataset in ("hollywood", "human-gene")
+    ]
+    for cell in structured:
+        assert cell.micro_cut_percent < cell.random_cut_percent
+
+    # Identity clustering (k == 64) can never degrade quality.
+    for cell in cells:
+        if cell.num_parts == fig8_quality.NUM_MICRO_PARTS:
+            assert cell.micro_cut_percent <= cell.base_cut_percent + 7.5

@@ -1,0 +1,47 @@
+"""Regenerates Figure 9: decision time of exact vs approximate EC.
+
+Paper shape: the exact formulation only finishes for the short job at
+small slacks (everything else DNFs after >1 h — here: a state budget),
+while the approximation answers in milliseconds with a small distance
+from optimum (paper: ~3 % average).
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fig9_decision_time
+
+SLACKS = (0.1, 0.3, 0.5, 0.7, 1.0)
+
+
+def test_fig9_decision_time(benchmark, setup, save_result):
+    cells = benchmark.pedantic(
+        fig9_decision_time.run,
+        kwargs={
+            "setup": setup,
+            "slacks": SLACKS,
+            "exact_dt": 30.0,
+            "exact_budget": 300_000,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    save_result("fig9_decision_time", fig9_decision_time.render(cells))
+
+    # The approximation always answers, quickly.
+    for cell in cells:
+        assert cell.approx_ms < 5_000
+
+    # The exact estimator DNFs somewhere (the paper's GC column).
+    coloring = [c for c in cells if c.app == "coloring"]
+    assert any(c.exact_ms is None for c in coloring)
+
+    # Where exact finishes, the approximation lands close (paper: ~3%).
+    finished = [c for c in cells if c.dfo_percent is not None]
+    assert finished, "at least one exact cell must finish"
+    mean_dfo = sum(c.dfo_percent for c in finished) / len(finished)
+    assert mean_dfo < 40.0
+
+    # Exact is orders of magnitude slower than the approximation.
+    slow = [c for c in finished if c.exact_ms is not None and c.exact_ms > 0]
+    if slow:
+        assert max(c.exact_ms / max(c.approx_ms, 1e-3) for c in slow) > 2.0

@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Recurrent analysis over an evolving graph — the paper's §1 workload.
+
+Five snapshots of a social graph arrive, one per period.  Instead of
+re-running the offline partitioner for every snapshot, the
+micro-partitioning is maintained incrementally: surviving vertices keep
+their shards, newcomers join by neighbour majority, and the quotient
+graph is rebuilt cheaply.  We report, per snapshot, the maintained
+sharding's quality against a from-scratch re-partition and the offline
+partitioner work avoided.
+
+Run:  python examples/recurring_snapshots.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import MicroPartitioner, get_dataset
+from repro.graph import edge_jaccard, snapshot_sequence
+from repro.partitioning import (
+    MultilevelPartitioner,
+    edge_cut_fraction,
+    update_micro_partitioning,
+)
+
+TARGET_WORKERS = 8
+SNAPSHOTS = 5
+
+
+def main() -> None:
+    graph = get_dataset("hollywood").generate(seed=3)
+    print(f"initial snapshot: {graph}")
+
+    t0 = time.perf_counter()
+    artefact = MicroPartitioner(num_micro_parts=64).build(graph, seed=1)
+    offline_seconds = time.perf_counter() - t0
+    print(f"offline micro-partitioning: {offline_seconds:.1f}s (paid once)\n")
+
+    print(f"{'snapshot':>8} {'|V|':>7} {'churn':>6} {'incremental':>12} "
+          f"{'fresh':>7} {'update':>8} {'rebuild':>8}")
+    previous = graph
+    maintained = artefact
+    for i, snapshot in enumerate(snapshot_sequence(graph, SNAPSHOTS, seed=9), start=1):
+        t0 = time.perf_counter()
+        maintained = update_micro_partitioning(maintained, snapshot)
+        update_seconds = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        fresh = MicroPartitioner(num_micro_parts=64).build(snapshot, seed=1)
+        rebuild_seconds = time.perf_counter() - t0
+
+        inc_cut = edge_cut_fraction(snapshot, maintained.cluster(TARGET_WORKERS, seed=1))
+        fresh_cut = edge_cut_fraction(snapshot, fresh.cluster(TARGET_WORKERS, seed=1))
+        churn = 1.0 - edge_jaccard(previous, snapshot)
+        print(f"{i:>8} {snapshot.num_vertices:>7,} {churn:>5.0%} "
+              f"{inc_cut:>11.1%} {fresh_cut:>6.1%} "
+              f"{update_seconds:>7.2f}s {rebuild_seconds:>7.2f}s")
+        previous = snapshot
+
+    print("\nincremental maintenance keeps the cut within a few points of a"
+          "\nfull re-partition at a fraction of the offline cost; a recurring"
+          "\npipeline can re-run the partitioner only when the drift"
+          "\n(repro.partitioning.staleness) crosses its budget.")
+
+
+if __name__ == "__main__":
+    main()

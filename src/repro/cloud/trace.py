@@ -1,0 +1,151 @@
+"""Spot price traces: piecewise-constant price series per instance type.
+
+A :class:`PriceTrace` is the fundamental market observable: the spot
+price as a right-continuous step function of time.  The paper replays
+Amazon's published us-east-1 traces; we generate statistically similar
+synthetic traces (:mod:`repro.cloud.trace_gen`) and replay those with
+the identical machinery: price lookup, threshold crossings (evictions at
+bid = on-demand) and price integration (billing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.units import HOURS
+
+
+@dataclass(frozen=True)
+class PriceTrace:
+    """Step-function price series for one instance type's market.
+
+    Attributes:
+        times: sorted ``float64`` change-points (seconds); ``times[0]``
+            is the trace start.
+        prices: ``prices[i]`` holds from ``times[i]`` (inclusive) until
+            ``times[i+1]`` (exclusive); dollars per machine-hour.
+        instance_name: which SKU this trace belongs to.
+    """
+
+    times: np.ndarray
+    prices: np.ndarray
+    instance_name: str = ""
+
+    def __post_init__(self):
+        times = np.ascontiguousarray(self.times, dtype=np.float64)
+        prices = np.ascontiguousarray(self.prices, dtype=np.float64)
+        object.__setattr__(self, "times", times)
+        object.__setattr__(self, "prices", prices)
+        if times.ndim != 1 or prices.ndim != 1:
+            raise ValueError("times and prices must be one-dimensional")
+        if len(times) != len(prices):
+            raise ValueError(f"len(times)={len(times)} != len(prices)={len(prices)}")
+        if len(times) == 0:
+            raise ValueError("trace must have at least one segment")
+        if np.any(np.diff(times) <= 0):
+            raise ValueError("times must be strictly increasing")
+        if np.any(prices < 0):
+            raise ValueError("prices must be non-negative")
+
+    # ------------------------------------------------------------------
+    @property
+    def start(self) -> float:
+        """Earliest covered timestamp."""
+        return float(self.times[0])
+
+    @property
+    def end(self) -> float:
+        """End of trace coverage (last change-point; the final segment is
+        considered to extend to this point only)."""
+        return float(self.times[-1])
+
+    def _segment(self, t: float) -> int:
+        idx = int(np.searchsorted(self.times, t, side="right")) - 1
+        if idx < 0:
+            raise ValueError(f"t={t} precedes trace start {self.start}")
+        return idx
+
+    def price_at(self, t: float) -> float:
+        """Spot price ($/machine-hour) in effect at time *t*."""
+        if t > self.end:
+            raise ValueError(f"t={t} beyond trace end {self.end}")
+        return float(self.prices[self._segment(min(t, self.end))])
+
+    def next_crossing_above(self, t: float, threshold: float) -> float | None:
+        """First time >= *t* when the price exceeds *threshold*.
+
+        Returns None when the price stays at or below *threshold* through
+        the end of the trace.  If the price already exceeds the threshold
+        at *t*, returns *t* itself.
+        """
+        if t > self.end:
+            raise ValueError(f"t={t} beyond trace end {self.end}")
+        idx = self._segment(t)
+        if self.prices[idx] > threshold:
+            return float(t)
+        above = np.flatnonzero(self.prices[idx + 1 :] > threshold)
+        if len(above) == 0:
+            return None
+        return float(self.times[idx + 1 + above[0]])
+
+    def integrate(self, t0: float, t1: float) -> float:
+        """Integral of the price over ``[t0, t1]`` in dollar-hours.
+
+        Multiplying by the machine count gives the spot bill under
+        per-second billing at the market price.
+        """
+        if t1 < t0:
+            raise ValueError(f"t1={t1} < t0={t0}")
+        if t0 < self.start or t1 > self.end:
+            raise ValueError(
+                f"[{t0}, {t1}] outside trace coverage [{self.start}, {self.end}]"
+            )
+        if t1 == t0:
+            return 0.0
+        i0, i1 = self._segment(t0), self._segment(min(t1, self.end))
+        if i0 == i1:
+            return float(self.prices[i0] * (t1 - t0) / HOURS)
+        total = self.prices[i0] * (self.times[i0 + 1] - t0)
+        for i in range(i0 + 1, i1):
+            total += self.prices[i] * (self.times[i + 1] - self.times[i])
+        total += self.prices[i1] * (t1 - self.times[i1])
+        return float(total / HOURS)
+
+    def mean_price(self, t0: float | None = None, t1: float | None = None) -> float:
+        """Time-weighted mean price over a window (whole trace by default)."""
+        t0 = self.start if t0 is None else t0
+        t1 = self.end if t1 is None else t1
+        span_hours = (t1 - t0) / HOURS
+        if span_hours <= 0:
+            return self.price_at(t0)
+        return self.integrate(t0, t1) / span_hours
+
+    def slice(self, t0: float, t1: float) -> "PriceTrace":
+        """Sub-trace covering ``[t0, t1]``."""
+        if not self.start <= t0 < t1 <= self.end:
+            raise ValueError("invalid slice bounds")
+        i0, i1 = self._segment(t0), self._segment(min(t1, self.end))
+        times = np.concatenate([[t0], self.times[i0 + 1 : i1 + 1], [t1]])
+        prices = np.concatenate([self.prices[i0 : i1 + 1], [self.prices[i1]]])
+        # Drop the duplicated final point introduced above.
+        return PriceTrace(times=times[:-1], prices=prices[:-1], instance_name=self.instance_name)
+
+    def uptime_samples(self, bid: float, sample_interval: float = 15 * 60.0) -> np.ndarray:
+        """Time-to-eviction from regular start points (historical stats).
+
+        For every start point spaced ``sample_interval`` apart where the
+        price is at or below *bid*, measure how long a machine bid at
+        *bid* would survive.  Right-censored samples (no crossing before
+        trace end) are recorded as the remaining horizon; callers that
+        need uncensored data should use a long trace.
+        """
+        starts = np.arange(self.start, self.end, sample_interval)
+        uptimes = []
+        for s in starts:
+            if self.price_at(s) > bid:
+                continue
+            crossing = self.next_crossing_above(s, bid)
+            uptimes.append((crossing if crossing is not None else self.end) - s)
+        return np.asarray(uptimes, dtype=np.float64)

@@ -1,0 +1,113 @@
+"""Synthetic spot-price trace generation.
+
+The paper replays Amazon's us-east-1 spot traces from October 2016
+(historical statistics) and November 2016 (evaluation).  Those traces
+are not redistributable, so this module generates statistically similar
+ones: a **mean-reverting base price** around the instance's long-run
+spot discount, punctuated by **demand spikes** that push the price above
+the on-demand level — the events that evict instances bid at the
+on-demand price (the paper's and our bidding policy).
+
+The generator is seeded and produces an "October" trace (fed to the
+eviction/price statistics) and a disjoint "November" trace (replayed by
+the simulator) from different seeds, mirroring the paper's methodology.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cloud.instance import InstanceType
+from repro.cloud.trace import PriceTrace
+from repro.utils.rng import derive_rng
+from repro.utils.units import HOURS
+
+
+def generate_trace(
+    instance: InstanceType,
+    duration: float = 30 * 24 * HOURS,
+    step: float = 60.0,
+    seed=None,
+    start_time: float = 0.0,
+) -> PriceTrace:
+    """Generate a synthetic spot-price trace for one instance type.
+
+    Args:
+        instance: the SKU; its ``spot_discount``, ``spot_volatility``,
+            ``mean_spike_interval`` and ``mean_spike_duration`` calibrate
+            the process.
+        duration: trace length in seconds (default: 30 days).
+        step: price change granularity in seconds.
+        seed: RNG seed; same seed -> identical trace.
+        start_time: timestamp of the first segment.
+
+    Returns:
+        A :class:`PriceTrace` whose price stays below the on-demand price
+        in calm periods and exceeds it during spikes.
+    """
+    if duration <= 0 or step <= 0:
+        raise ValueError("duration and step must be positive")
+    rng = derive_rng(seed, "trace", instance.name)
+    n = max(2, int(duration / step))
+    times = start_time + step * np.arange(n)
+
+    # Mean-reverting log-price around the long-run discounted level.
+    mean_log = np.log(instance.mean_spot_price)
+    reversion = step / (6 * HOURS)  # pull back over ~6 hours
+    vol = instance.spot_volatility * np.sqrt(step / HOURS)
+    log_price = np.empty(n)
+    log_price[0] = mean_log + instance.spot_volatility * rng.standard_normal()
+    shocks = vol * rng.standard_normal(n - 1)
+    for i in range(1, n):
+        log_price[i] = (
+            log_price[i - 1]
+            + reversion * (mean_log - log_price[i - 1])
+            + shocks[i - 1]
+        )
+    prices = np.exp(log_price)
+    # Calm-period prices never exceed 90 % of on-demand: evictions come
+    # from spikes, not diffusion noise (matches observed market shape).
+    prices = np.minimum(prices, 0.9 * instance.on_demand_price)
+
+    # Overlay demand spikes: Poisson arrivals, exponential durations,
+    # spike peak 1.1x-2.5x the on-demand price.
+    t = 0.0
+    while True:
+        t += rng.exponential(instance.mean_spike_interval)
+        if t >= duration:
+            break
+        spike_len = max(step, rng.exponential(instance.mean_spike_duration))
+        peak = instance.on_demand_price * rng.uniform(1.1, 2.5)
+        i0 = int(t / step)
+        i1 = min(n, int((t + spike_len) / step) + 1)
+        width = i1 - i0
+        if width <= 0:
+            continue
+        # Ramp to the peak over the first third, then decay; the whole
+        # spike stays above the on-demand price (it is the eviction).
+        floor = 1.02 * instance.on_demand_price
+        rise = max(1, width // 3)
+        profile = np.concatenate(
+            [np.linspace(floor, peak, rise), np.linspace(peak, floor, width - rise + 1)[1:]]
+        )
+        prices[i0:i1] = np.maximum(prices[i0:i1], profile[:width])
+        t += spike_len
+
+    return PriceTrace(times=times, prices=prices, instance_name=instance.name)
+
+
+def generate_market_traces(
+    instances,
+    duration: float = 30 * 24 * HOURS,
+    step: float = 60.0,
+    seed=None,
+    start_time: float = 0.0,
+) -> dict[str, PriceTrace]:
+    """Generate one trace per instance type, with independent streams."""
+    return {
+        itype.name: generate_trace(
+            itype, duration=duration, step=step, seed=derive_rng(seed, itype.name),
+            start_time=start_time,
+        )
+        for itype in instances
+    }

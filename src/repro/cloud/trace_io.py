@@ -1,0 +1,107 @@
+"""Price-trace persistence: CSV import/export.
+
+Lets users replay *real* provider price dumps instead of the synthetic
+generator: export any trace to CSV, or build a :class:`SpotMarket` from
+CSV files (e.g. converted AWS ``describe-spot-price-history`` output).
+
+CSV format: a header line ``timestamp,price`` followed by one row per
+price change; timestamps are seconds (any epoch), prices $/machine-hour.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+import numpy as np
+
+from repro.cloud.eviction import EmpiricalEvictionModel
+from repro.cloud.instance import InstanceType
+from repro.cloud.market import MarketStats, SpotMarket
+from repro.cloud.trace import PriceTrace
+
+
+def write_trace_csv(trace: PriceTrace, path) -> None:
+    """Write one trace as ``timestamp,price`` rows."""
+    path = Path(path)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["timestamp", "price"])
+        for t, p in zip(trace.times, trace.prices):
+            writer.writerow([f"{t:.3f}", f"{p:.6f}"])
+
+
+def read_trace_csv(path, instance_name: str = "") -> PriceTrace:
+    """Parse a ``timestamp,price`` CSV into a :class:`PriceTrace`.
+
+    Rows are sorted by timestamp; duplicate timestamps keep the last
+    row (provider dumps often repeat readings).
+    """
+    path = Path(path)
+    rows: list[tuple[float, float]] = []
+    with path.open(newline="") as fh:
+        reader = csv.reader(fh)
+        header = next(reader, None)
+        if header is None:
+            raise ValueError(f"{path}: empty trace file")
+        if [h.strip().lower() for h in header[:2]] != ["timestamp", "price"]:
+            raise ValueError(
+                f"{path}: expected header 'timestamp,price', got {header!r}"
+            )
+        for lineno, row in enumerate(reader, start=2):
+            if not row or not row[0].strip():
+                continue
+            if len(row) < 2:
+                raise ValueError(f"{path}:{lineno}: expected 2 columns")
+            rows.append((float(row[0]), float(row[1])))
+    if not rows:
+        raise ValueError(f"{path}: trace has no data rows")
+    rows.sort(key=lambda r: r[0])
+    deduped: list[tuple[float, float]] = []
+    for t, p in rows:
+        if deduped and deduped[-1][0] == t:
+            deduped[-1] = (t, p)
+        else:
+            deduped.append((t, p))
+    times = np.array([t for t, _ in deduped])
+    prices = np.array([p for _, p in deduped])
+    return PriceTrace(
+        times=times, prices=prices, instance_name=instance_name or path.stem
+    )
+
+
+def market_from_csv(
+    instances: list[InstanceType],
+    evaluation_paths: dict[str, "str | Path"],
+    history_paths: dict[str, "str | Path"] | None = None,
+) -> SpotMarket:
+    """Build a :class:`SpotMarket` from CSV trace files.
+
+    Args:
+        instances: the instance types the traces belong to.
+        evaluation_paths: instance name -> CSV of the replayed month.
+        history_paths: instance name -> CSV of the preceding month used
+            for the eviction models and mean prices; defaults to the
+            evaluation traces (weaker methodology, but usable).
+    """
+    history_paths = history_paths or evaluation_paths
+    traces: dict[str, PriceTrace] = {}
+    stats: dict[str, MarketStats] = {}
+    for itype in instances:
+        if itype.name not in evaluation_paths:
+            raise ValueError(f"no evaluation trace for {itype.name}")
+        traces[itype.name] = read_trace_csv(
+            evaluation_paths[itype.name], instance_name=itype.name
+        )
+        history = read_trace_csv(
+            history_paths[itype.name], instance_name=itype.name
+        )
+        stats[itype.name] = MarketStats(
+            mean_spot_price=history.mean_price(),
+            eviction_model=EmpiricalEvictionModel.from_trace(
+                history, bid=itype.on_demand_price
+            ),
+        )
+    return SpotMarket(
+        traces=traces, stats=stats, instances={t.name: t for t in instances}
+    )

@@ -1,0 +1,113 @@
+"""Hourglass core: slack-aware provisioning, expected cost, simulation."""
+
+from repro.core.accounting import (
+    CostBreakdown,
+    PhaseCosts,
+    breakdown,
+    format_breakdown,
+    setup_table,
+)
+from repro.core.baselines import (
+    DeadlineProtected,
+    HourglassNaiveProvisioner,
+    OnDemandProvisioner,
+    ProteusProvisioner,
+    SpotOnProvisioner,
+)
+from repro.core.ckpt_policy import (
+    checkpoint_overhead_fraction,
+    daly_interval,
+    expected_lost_work,
+)
+from repro.core.expected_cost import (
+    ApproximateCostEstimator,
+    Decision,
+    DecisionBudgetExceeded,
+    ExactCostEstimator,
+)
+from repro.core.job import (
+    COLORING_PROFILE,
+    PAGERANK_PROFILE,
+    PAPER_PROFILES,
+    SSSP_PROFILE,
+    ApplicationProfile,
+    JobSpec,
+    job_with_slack,
+)
+from repro.core.perfmodel import (
+    RELOAD_FULL,
+    RELOAD_MICRO,
+    PerformanceModel,
+    last_resort,
+)
+from repro.core.phases import ACCOUNT_RAW, ACCOUNT_TIME, Phase, PhaseModel
+from repro.core.provisioner import (
+    HourglassProvisioner,
+    Provisioner,
+    ProvisioningContext,
+)
+from repro.core.recurring import RecurringJobDriver, RecurringOutcome
+from repro.core.simulator import (
+    ExecutionSimulator,
+    SimEvent,
+    SimulationError,
+    SimulationResult,
+    on_demand_baseline_cost,
+)
+from repro.core.slack import SlackModel
+from repro.core.warning import (
+    EC2_TWO_MINUTE_WARNING,
+    NO_WARNING,
+    WarningPolicy,
+    salvageable_progress,
+)
+
+__all__ = [
+    "ApplicationProfile",
+    "CostBreakdown",
+    "PhaseCosts",
+    "breakdown",
+    "format_breakdown",
+    "setup_table",
+    "EC2_TWO_MINUTE_WARNING",
+    "NO_WARNING",
+    "WarningPolicy",
+    "salvageable_progress",
+    "ACCOUNT_RAW",
+    "ACCOUNT_TIME",
+    "Phase",
+    "PhaseModel",
+    "ApproximateCostEstimator",
+    "COLORING_PROFILE",
+    "Decision",
+    "DecisionBudgetExceeded",
+    "DeadlineProtected",
+    "ExactCostEstimator",
+    "ExecutionSimulator",
+    "HourglassNaiveProvisioner",
+    "HourglassProvisioner",
+    "JobSpec",
+    "OnDemandProvisioner",
+    "PAGERANK_PROFILE",
+    "PAPER_PROFILES",
+    "PerformanceModel",
+    "Provisioner",
+    "ProvisioningContext",
+    "ProteusProvisioner",
+    "RELOAD_FULL",
+    "RELOAD_MICRO",
+    "RecurringJobDriver",
+    "RecurringOutcome",
+    "SSSP_PROFILE",
+    "SimEvent",
+    "SimulationError",
+    "SimulationResult",
+    "SlackModel",
+    "SpotOnProvisioner",
+    "checkpoint_overhead_fraction",
+    "daly_interval",
+    "expected_lost_work",
+    "job_with_slack",
+    "last_resort",
+    "on_demand_baseline_cost",
+]

@@ -1,0 +1,147 @@
+"""Provisioner interface and the Hourglass slack-aware provisioner (§5).
+
+A provisioner is consulted at every decision point of a job's execution
+— start, after each checkpoint, after each eviction — and returns the
+configuration to run next.  :class:`HourglassProvisioner` minimises the
+approximate expected cost while the slack accounting guarantees the
+deadline; baselines live in :mod:`repro.core.baselines`.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from dataclasses import dataclass
+
+from repro.cloud.configuration import Configuration
+from repro.cloud.market import SpotMarket
+from repro.core.expected_cost import ApproximateCostEstimator, Decision
+from repro.core.slack import SlackModel
+from repro.core.warning import NO_WARNING, WarningPolicy
+
+
+@dataclass(frozen=True)
+class ProvisioningContext:
+    """Everything a provisioner may look at when deciding.
+
+    Attributes:
+        t: current simulation time.
+        work_left: fraction of the job outstanding (checkpointed state).
+        current_config: the running configuration, or None after an
+            eviction / at job start.
+        current_uptime: how long the current deployment has been up.
+        slack_model: deadline/performance binding for this job.
+        market: price and eviction statistics (decision-time snapshot).
+        catalog: candidate configurations.
+    """
+
+    t: float
+    work_left: float
+    current_config: Configuration | None
+    current_uptime: float
+    slack_model: SlackModel
+    market: SpotMarket
+    catalog: tuple
+
+    @property
+    def slack(self) -> float:
+        """Slack at this context's (t, work_left)."""
+        return self.slack_model.slack(self.t, self.work_left)
+
+
+class Provisioner(abc.ABC):
+    """Strategy object choosing deployment configurations."""
+
+    #: Human-readable strategy name (used in reports).
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def select(self, ctx: ProvisioningContext) -> Configuration:
+        """Pick the configuration to run next."""
+
+    def segment_limit(self, ctx: ProvisioningContext) -> float:
+        """Longest run the strategy allows before forcing a decision point.
+
+        Deadline-aware strategies cap segments so that a decision point
+        lands exactly when the slack is about to run out; eager
+        strategies never interrupt (infinity).
+        """
+        return math.inf
+
+    def reset(self) -> None:
+        """Clear any per-job state (called before each simulated job)."""
+
+
+class HourglassProvisioner(Provisioner):
+    """The slack-aware strategy: minimise approximate expected cost.
+
+    At every decision point it evaluates ``EC(t, w)|c`` for every
+    catalogue configuration with the §5.3 approximation and picks the
+    cheapest.  The slack accounting inside the estimator makes
+    infeasible configurations cost infinity, so as the slack drains the
+    choice collapses onto the last-resort configuration exactly when
+    needed — the paper's "switch when (but only if) the deadline is at
+    risk".
+
+    Args:
+        slack_grid: memoisation granularity passed to the estimator
+            (None = adaptive).
+        work_grid: work-fraction granularity (None = adaptive).
+    """
+
+    name = "hourglass"
+
+    def __init__(
+        self,
+        slack_grid: float | None = None,
+        work_grid: float | None = None,
+        warning: WarningPolicy = NO_WARNING,
+    ):
+        self.slack_grid = slack_grid
+        self.work_grid = work_grid
+        self.warning = warning
+        self._estimator: ApproximateCostEstimator | None = None
+        self._estimator_key = None
+        self.last_decision: Decision | None = None
+
+    def reset(self) -> None:
+        """Clear per-job state."""
+        self._estimator = None
+        self._estimator_key = None
+        self.last_decision = None
+
+    def _estimator_for(self, ctx: ProvisioningContext) -> ApproximateCostEstimator:
+        key = (id(ctx.slack_model), id(ctx.market), tuple(c.name for c in ctx.catalog))
+        if self._estimator is None or key != self._estimator_key:
+            self._estimator = ApproximateCostEstimator(
+                ctx.slack_model,
+                ctx.market,
+                ctx.catalog,
+                slack_grid=self.slack_grid,
+                work_grid=self.work_grid,
+                warning=self.warning,
+            )
+            self._estimator_key = key
+        return self._estimator
+
+    def select(self, ctx: ProvisioningContext) -> Configuration:
+        """Pick the configuration to run next (see class docstring)."""
+        estimator = self._estimator_for(ctx)
+        decision = estimator.best(
+            ctx.t, ctx.work_left, ctx.current_config, ctx.current_uptime
+        )
+        self.last_decision = decision
+        return decision.config
+
+    def segment_limit(self, ctx: ProvisioningContext) -> float:
+        """Stop computing when the slack (minus one save) is exhausted.
+
+        Running a transient segment past ``slack - t_save`` would leave
+        no room to persist progress and still start the last resort in
+        time; ending the segment there lands the hand-over decision at
+        exactly slack zero.
+        """
+        config = ctx.current_config
+        if config is None or not config.is_transient:
+            return math.inf
+        return ctx.slack - ctx.slack_model.perf.save_time(config)

@@ -1,0 +1,89 @@
+"""Eviction-warning extension (paper §9, "Model Evolution").
+
+Some providers (e.g. EC2's two-minute notice) warn before revoking spot
+instances.  The paper sketches how Hourglass's model extends: if the
+warning arrives early enough to complete a checkpoint, an eviction no
+longer loses the work since the last checkpoint — only the redeploy
+time.  This module provides:
+
+* :class:`WarningPolicy` — the warning contract (lead seconds) and the
+  decision of whether a save fits inside it;
+* :func:`salvageable_progress` — how much of a doomed interval survives
+  under a given warning;
+* an expected-cost hook used by
+  :class:`~repro.core.expected_cost.ApproximateCostEstimator` when
+  constructed with a warning policy, implementing the §9 refinement of
+  ``costT_fail``.
+
+The execution simulator honours the same policy: on eviction, if the
+warning lead covers ``t_save``, the progress accumulated in the current
+interval up to the warning instant is checkpointed and survives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.validation import check_non_negative
+
+
+@dataclass(frozen=True)
+class WarningPolicy:
+    """Provider eviction-warning contract.
+
+    Attributes:
+        lead_seconds: how long before the revocation the warning fires
+            (0 = no warning, the paper's base model).
+    """
+
+    lead_seconds: float = 0.0
+
+    def __post_init__(self):
+        check_non_negative("lead_seconds", self.lead_seconds)
+
+    @property
+    def enabled(self) -> bool:
+        """Whether a warning is configured at all."""
+        return self.lead_seconds > 0.0
+
+    def can_save(self, save_time: float) -> bool:
+        """Does a checkpoint of ``save_time`` seconds fit in the lead?"""
+        return self.enabled and save_time <= self.lead_seconds
+
+
+#: EC2's spot interruption notice.
+EC2_TWO_MINUTE_WARNING = WarningPolicy(lead_seconds=120.0)
+NO_WARNING = WarningPolicy(lead_seconds=0.0)
+
+
+def salvageable_progress(
+    policy: WarningPolicy,
+    eviction_offset: float,
+    segment_start_offset: float,
+    exec_time: float,
+    save_time: float,
+) -> float:
+    """Work fraction rescued from a doomed interval by the warning.
+
+    Args:
+        policy: the warning contract.
+        eviction_offset: seconds from deployment start to the revocation.
+        segment_start_offset: seconds from deployment start to the
+            beginning of useful computation (after boot + load).
+        exec_time: full-job execution time on this configuration.
+        save_time: checkpoint cost on this configuration.
+
+    Returns:
+        The fraction of the *whole job* whose completion is persisted by
+        the warning-triggered checkpoint (0.0 when the warning is absent
+        or too short to cover the save).
+    """
+    if not policy.can_save(save_time):
+        return 0.0
+    # The warning fires lead_seconds before the revocation; computation
+    # stops there and the save must still fit before the revocation.
+    warning_at = eviction_offset - policy.lead_seconds
+    computed = warning_at - segment_start_offset
+    if computed <= 0:
+        return 0.0
+    return computed / exec_time

@@ -1,0 +1,67 @@
+"""Pregel-style BSP graph processing engine (the Giraph stand-in)."""
+
+from repro.engine.aggregators import (
+    Aggregator,
+    AndAggregator,
+    MaxAggregator,
+    MinAggregator,
+    OrAggregator,
+    SumAggregator,
+)
+from repro.engine.checkpoint import CheckpointInfo, CheckpointManager
+from repro.engine.datastore import DataStore, TransferStats
+from repro.engine.engine import ExecutionResult, PregelEngine, SuperstepStats
+from repro.engine.loader import (
+    HashLoader,
+    LoadResult,
+    LoadTimingModel,
+    MicroLoader,
+    StreamLoader,
+)
+from repro.engine.metrics import (
+    ClusterTimingModel,
+    estimate_execution_time,
+    fit_sync_penalty,
+)
+from repro.engine.messages import (
+    Combiner,
+    MaxCombiner,
+    MessageStore,
+    MinCombiner,
+    SumCombiner,
+)
+from repro.engine.vertex import ComputeContext, VertexProgram
+from repro.engine.worker import Worker, build_workers
+
+__all__ = [
+    "Aggregator",
+    "AndAggregator",
+    "CheckpointInfo",
+    "CheckpointManager",
+    "ClusterTimingModel",
+    "Combiner",
+    "ComputeContext",
+    "DataStore",
+    "estimate_execution_time",
+    "fit_sync_penalty",
+    "ExecutionResult",
+    "HashLoader",
+    "LoadResult",
+    "LoadTimingModel",
+    "MaxAggregator",
+    "MaxCombiner",
+    "MessageStore",
+    "MicroLoader",
+    "MinAggregator",
+    "MinCombiner",
+    "OrAggregator",
+    "PregelEngine",
+    "StreamLoader",
+    "SumAggregator",
+    "SumCombiner",
+    "SuperstepStats",
+    "TransferStats",
+    "VertexProgram",
+    "Worker",
+    "build_workers",
+]

@@ -1,0 +1,103 @@
+"""Global aggregators (Pregel's reduce-and-broadcast primitive).
+
+Vertices contribute values during superstep ``s``; the master reduces
+worker-local partials at the barrier and the result is readable by every
+vertex during superstep ``s + 1``.  Graph Coloring uses a counter of
+uncoloured vertices; PageRank convergence checks use a sum of deltas.
+"""
+
+from __future__ import annotations
+
+import abc
+
+
+class Aggregator(abc.ABC):
+    """An associative, commutative reduction with an identity element."""
+
+    def __init__(self):
+        self._value = self.identity()
+
+    @abc.abstractmethod
+    def identity(self):
+        """The neutral element."""
+
+    @abc.abstractmethod
+    def reduce(self, a, b):
+        """Merge two partial values."""
+
+    def accumulate(self, value) -> None:
+        """Fold *value* into the running reduction."""
+        self._value = self.reduce(self._value, value)
+
+    def merge(self, other: "Aggregator") -> None:
+        """Fold another aggregator's partial result in (worker -> master)."""
+        self._value = self.reduce(self._value, other._value)
+
+    @property
+    def value(self):
+        """Current reduced value."""
+        return self._value
+
+    def reset(self) -> None:
+        """Clear per-job state."""
+        self._value = self.identity()
+
+
+class SumAggregator(Aggregator):
+    """Sum of contributions."""
+
+    def identity(self):
+        """The neutral element of this reduction."""
+        return 0
+
+    def reduce(self, a, b):
+        """Merge two partial values."""
+        return a + b
+
+
+class MinAggregator(Aggregator):
+    """Minimum contribution (identity: +inf)."""
+
+    def identity(self):
+        """The neutral element of this reduction."""
+        return float("inf")
+
+    def reduce(self, a, b):
+        """Merge two partial values."""
+        return a if a <= b else b
+
+
+class MaxAggregator(Aggregator):
+    """Maximum contribution (identity: -inf)."""
+
+    def identity(self):
+        """The neutral element of this reduction."""
+        return float("-inf")
+
+    def reduce(self, a, b):
+        """Merge two partial values."""
+        return a if a >= b else b
+
+
+class AndAggregator(Aggregator):
+    """Logical AND (identity: True)."""
+
+    def identity(self):
+        """The neutral element of this reduction."""
+        return True
+
+    def reduce(self, a, b):
+        """Merge two partial values."""
+        return bool(a) and bool(b)
+
+
+class OrAggregator(Aggregator):
+    """Logical OR (identity: False)."""
+
+    def identity(self):
+        """The neutral element of this reduction."""
+        return False
+
+    def reduce(self, a, b):
+        """Merge two partial values."""
+        return bool(a) or bool(b)

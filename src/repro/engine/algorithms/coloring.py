@@ -1,0 +1,102 @@
+"""Greedy Graph Coloring vertex program (the paper's long job).
+
+Follows the Pregel-style approach of Salihoglu & Widom (VLDB'14):
+repeatedly extract a maximal independent set (Luby's randomized MIS)
+from the still-uncoloured vertices and give the whole set the next
+colour.  Each colour round takes two supersteps:
+
+* **phase A** (even supersteps): every uncoloured vertex broadcasts a
+  per-round pseudo-random priority;
+* **phase B** (odd supersteps): a vertex whose priority beats every
+  uncoloured neighbour joins the round's independent set and takes the
+  round index as its colour.
+
+Adjacent vertices can never join the same round, so the result is a
+proper colouring.  The expected number of rounds is logarithmic, but the
+many rounds over a big graph are what make GC the paper's 4-hour job.
+
+The input graph should be symmetric (call ``graph.undirected()`` first)
+since colouring constraints are undirected.
+"""
+
+from __future__ import annotations
+
+from repro.engine.aggregators import SumAggregator
+from repro.engine.messages import MaxCombiner
+from repro.engine.vertex import ComputeContext, VertexProgram
+
+UNCOLOURED = -1
+
+
+def _priority(vertex_id: int, round_index: int, salt: int) -> int:
+    """Deterministic pseudo-random priority for (vertex, round).
+
+    SplitMix64-style mixing: uniform enough for Luby's argument, stable
+    across runs (and across checkpoint recovery, which matters here).
+    """
+    x = (vertex_id * 0x9E3779B97F4A7C15 + round_index * 0xBF58476D1CE4E5B9 + salt) & (
+        2**64 - 1
+    )
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & (2**64 - 1)
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & (2**64 - 1)
+    return x ^ (x >> 31)
+
+
+class GraphColoring(VertexProgram):
+    """Luby-MIS based greedy colouring.
+
+    Vertex value is the assigned colour (``-1`` while uncoloured).
+
+    Args:
+        seed: salt for the per-round priorities.
+    """
+
+    combiner = MaxCombiner
+    message_bytes = 16  # (priority, vertex id)
+
+    def __init__(self, seed: int = 0):
+        self.seed = int(seed)
+
+    def aggregators(self):
+        """Aggregator factories used by this program."""
+        return {"uncoloured": SumAggregator}
+
+    def initial_value(self, vertex_id: int, num_vertices: int) -> int:
+        """Value of *vertex_id* before superstep 0."""
+        return UNCOLOURED
+
+    def compute(self, ctx: ComputeContext, messages: list) -> None:
+        """One superstep for the bound vertex (see class docstring)."""
+        if ctx.value != UNCOLOURED:
+            ctx.vote_to_halt()
+            return
+        round_index = ctx.superstep // 2
+        my_key = (_priority(ctx.vertex_id, round_index, self.seed), ctx.vertex_id)
+        if ctx.superstep % 2 == 0:
+            # Phase A: advertise this round's priority to all neighbours.
+            ctx.aggregate("uncoloured", 1)
+            ctx.send_to_neighbors(my_key)
+        else:
+            # Phase B: local maxima join the independent set.
+            best_neighbour = max(messages) if messages else None
+            if best_neighbour is None or my_key > best_neighbour:
+                ctx.value = round_index
+                ctx.vote_to_halt()
+            # Otherwise stay active for the next round.
+
+
+def count_colors(values: dict) -> int:
+    """Number of distinct colours in a finished colouring."""
+    return len({c for c in values.values() if c != UNCOLOURED})
+
+
+def is_proper_coloring(graph, values: dict) -> bool:
+    """Check no edge connects two vertices of the same colour.
+
+    ``graph`` may be the directed input; the check covers each directed
+    edge, which suffices for symmetric graphs.
+    """
+    for src, dst in graph.iter_edges():
+        if src != dst and values[src] == values[dst]:
+            return False
+    return True

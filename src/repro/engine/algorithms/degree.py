@@ -1,0 +1,38 @@
+"""Degree counting — the simplest vertex program, used in tests/examples."""
+
+from __future__ import annotations
+
+from repro.engine.messages import SumCombiner
+from repro.engine.vertex import ComputeContext, VertexProgram
+
+
+class OutDegree(VertexProgram):
+    """Vertex value = its out-degree; one superstep, no messages."""
+
+    def initial_value(self, vertex_id: int, num_vertices: int) -> int:
+        """Value of *vertex_id* before superstep 0."""
+        return 0
+
+    def compute(self, ctx: ComputeContext, messages: list) -> None:
+        """One superstep for the bound vertex (see class docstring)."""
+        ctx.value = ctx.out_degree
+        ctx.vote_to_halt()
+
+
+class InDegree(VertexProgram):
+    """Vertex value = its in-degree; two supersteps via counting messages."""
+
+    combiner = SumCombiner
+    message_bytes = 8
+
+    def initial_value(self, vertex_id: int, num_vertices: int) -> int:
+        """Value of *vertex_id* before superstep 0."""
+        return 0
+
+    def compute(self, ctx: ComputeContext, messages: list) -> None:
+        """One superstep for the bound vertex (see class docstring)."""
+        if ctx.superstep == 0:
+            ctx.send_to_neighbors(1)
+        else:
+            ctx.value = sum(messages)
+        ctx.vote_to_halt()

@@ -1,0 +1,63 @@
+"""k-core decomposition by iterative peeling (extension workload).
+
+A vertex survives in the k-core if it has at least ``k`` surviving
+neighbours.  Rounds of two supersteps each: alive vertices broadcast
+liveness, then any vertex seeing fewer than ``k`` alive neighbours dies.
+A round with no deaths is a fixed point; the global death counter (an
+aggregator) lets every vertex detect it and halt.
+
+Run on the symmetrised graph.
+"""
+
+from __future__ import annotations
+
+from repro.engine.aggregators import SumAggregator
+from repro.engine.messages import SumCombiner
+from repro.engine.vertex import ComputeContext, VertexProgram
+
+
+class KCore(VertexProgram):
+    """Vertex value: True iff the vertex is in the k-core.
+
+    Args:
+        k: the core order (>= 1).
+    """
+
+    combiner = SumCombiner
+    message_bytes = 8
+
+    def __init__(self, k: int):
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self.k = k
+
+    def aggregators(self):
+        """Aggregator factories used by this program."""
+        return {"deaths": SumAggregator}
+
+    def initial_value(self, vertex_id: int, num_vertices: int) -> bool:
+        """Value of *vertex_id* before superstep 0."""
+        return True
+
+    def compute(self, ctx: ComputeContext, messages: list) -> None:
+        """One superstep for the bound vertex (see class docstring)."""
+        if not ctx.value:
+            ctx.vote_to_halt()
+            return
+        if ctx.superstep % 2 == 0:
+            # Quiescence check: the previous round recorded no deaths.
+            if ctx.superstep >= 2 and not ctx.aggregated("deaths"):
+                ctx.vote_to_halt()
+                return
+            ctx.send_to_neighbors(1)
+        else:
+            alive_neighbours = sum(messages)
+            if alive_neighbours < self.k:
+                ctx.value = False
+                ctx.aggregate("deaths", 1)
+                ctx.vote_to_halt()
+
+
+def core_members(values: dict) -> set:
+    """Vertex ids that survived the peeling."""
+    return {v for v, alive in values.items() if alive}

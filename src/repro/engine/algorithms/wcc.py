@@ -1,0 +1,41 @@
+"""Weakly Connected Components via HashMin label propagation."""
+
+from __future__ import annotations
+
+from repro.engine.messages import MinCombiner
+from repro.engine.vertex import ComputeContext, VertexProgram
+
+
+class ConnectedComponents(VertexProgram):
+    """Each vertex converges to the minimum vertex id in its component.
+
+    Run on the symmetrised graph (``graph.undirected()``) for *weakly*
+    connected components of a directed input.
+    """
+
+    combiner = MinCombiner
+    message_bytes = 8
+
+    def initial_value(self, vertex_id: int, num_vertices: int) -> int:
+        """Value of *vertex_id* before superstep 0."""
+        return vertex_id
+
+    def compute(self, ctx: ComputeContext, messages: list) -> None:
+        """One superstep for the bound vertex (see class docstring)."""
+        candidate = min(messages) if messages else ctx.value
+        if ctx.superstep == 0:
+            candidate = min(candidate, ctx.vertex_id)
+            ctx.value = candidate
+            ctx.send_to_neighbors(candidate)
+        elif candidate < ctx.value:
+            ctx.value = candidate
+            ctx.send_to_neighbors(candidate)
+        ctx.vote_to_halt()
+
+
+def component_sizes(values: dict) -> dict:
+    """Map component label -> member count."""
+    sizes: dict = {}
+    for label in values.values():
+        sizes[label] = sizes.get(label, 0) + 1
+    return sizes

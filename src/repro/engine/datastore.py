@@ -1,0 +1,114 @@
+"""Simulated external datastore (the S3/HDFS stand-in).
+
+An in-memory object store with a simple performance model: reads and
+writes of ``n`` bytes by ``p`` machines in parallel take
+``latency + n / (p * bandwidth)`` simulated seconds (the store itself is
+assumed not to be the bottleneck, matching S3's scalability).  The store
+keeps transfer counters so tests and experiments can assert on data
+movement.
+
+All *simulated* durations are returned to the caller; nothing here
+sleeps.  Wall-clock cost is just the in-memory copy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.utils.units import MiB
+from repro.utils.validation import check_non_negative, check_positive
+
+
+@dataclass(frozen=True)
+class TransferStats:
+    """Cumulative datastore traffic."""
+
+    bytes_read: int
+    bytes_written: int
+    objects_read: int
+    objects_written: int
+
+
+class DataStore:
+    """In-memory object store with a bandwidth/latency timing model.
+
+    Args:
+        bandwidth: per-machine sustained throughput in bytes/second
+            (default 100 MiB/s, a typical S3 single-stream figure).
+        latency: per-operation setup latency in seconds.
+    """
+
+    def __init__(self, bandwidth: float = 100 * MiB, latency: float = 0.05):
+        check_positive("bandwidth", bandwidth)
+        check_non_negative("latency", latency)
+        self.bandwidth = bandwidth
+        self.latency = latency
+        self._objects: dict[str, bytes] = {}
+        self._bytes_read = 0
+        self._bytes_written = 0
+        self._objects_read = 0
+        self._objects_written = 0
+
+    # ------------------------------------------------------------------
+    # Object operations
+    # ------------------------------------------------------------------
+    def put(self, key: str, data: bytes) -> float:
+        """Store *data* under *key*; returns the simulated write time."""
+        if not isinstance(data, (bytes, bytearray)):
+            raise TypeError(f"data must be bytes, got {type(data).__name__}")
+        self._objects[key] = bytes(data)
+        self._bytes_written += len(data)
+        self._objects_written += 1
+        return self.transfer_time(len(data))
+
+    def get(self, key: str) -> bytes:
+        """Fetch the object stored under *key* (KeyError when missing)."""
+        data = self._objects[key]
+        self._bytes_read += len(data)
+        self._objects_read += 1
+        return data
+
+    def get_timed(self, key: str) -> tuple[bytes, float]:
+        """Fetch an object plus its simulated read time."""
+        data = self.get(key)
+        return data, self.transfer_time(len(data))
+
+    def delete(self, key: str) -> None:
+        """Remove an object; missing keys are ignored (idempotent)."""
+        self._objects.pop(key, None)
+
+    def exists(self, key: str) -> bool:
+        """Whether *key* is stored."""
+        return key in self._objects
+
+    def list_keys(self, prefix: str = "") -> list[str]:
+        """All stored keys with the given prefix, sorted."""
+        return sorted(k for k in self._objects if k.startswith(prefix))
+
+    def size_of(self, key: str) -> int:
+        """Stored size of *key* in bytes."""
+        return len(self._objects[key])
+
+    # ------------------------------------------------------------------
+    # Timing model
+    # ------------------------------------------------------------------
+    def transfer_time(self, nbytes: int, parallel_machines: int = 1) -> float:
+        """Simulated seconds to move *nbytes* using *parallel_machines*."""
+        check_non_negative("nbytes", nbytes)
+        if parallel_machines < 1:
+            raise ValueError("parallel_machines must be >= 1")
+        return self.latency + nbytes / (parallel_machines * self.bandwidth)
+
+    @property
+    def stats(self) -> TransferStats:
+        """Cumulative transfer counters."""
+        return TransferStats(
+            bytes_read=self._bytes_read,
+            bytes_written=self._bytes_written,
+            objects_read=self._objects_read,
+            objects_written=self._objects_written,
+        )
+
+    def total_stored_bytes(self) -> int:
+        """Sum of all stored object sizes."""
+        return sum(len(v) for v in self._objects.values())

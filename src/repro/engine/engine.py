@@ -1,0 +1,262 @@
+"""The Pregel-style BSP execution engine (the Giraph stand-in).
+
+Runs a :class:`~repro.engine.vertex.VertexProgram` over a partitioned
+graph in synchronous supersteps across simulated workers.  Messages are
+combined at the sender (when the program declares a combiner), routed to
+their destination worker, and delivered at the next barrier; aggregators
+are reduced at the barrier and broadcast to the next superstep, exactly
+following the Pregel/Giraph model the paper runs on.
+
+The engine tracks per-superstep statistics — active vertices, local vs
+remote messages, estimated network bytes — which is how partition
+quality translates into simulated execution time (cut edges ⇒ remote
+messages ⇒ network cost).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.engine.messages import MessageStore
+from repro.engine.vertex import ComputeContext, VertexProgram
+from repro.engine.worker import Worker, build_workers
+from repro.graph.graph import Graph
+from repro.partitioning.base import Partitioning
+
+
+@dataclass(frozen=True)
+class SuperstepStats:
+    """Observability record for one superstep."""
+
+    superstep: int
+    active_vertices: int
+    messages_sent: int
+    local_messages: int
+    remote_messages: int
+    remote_bytes: int
+
+    @property
+    def remote_fraction(self) -> float:
+        """Fraction of message traffic that crossed workers."""
+        total = self.local_messages + self.remote_messages
+        return self.remote_messages / total if total else 0.0
+
+
+@dataclass(frozen=True)
+class ExecutionResult:
+    """Outcome of a full run (or a run segment)."""
+
+    values: dict
+    supersteps_run: int
+    halted_normally: bool
+    stats: list[SuperstepStats]
+    aggregates: dict
+
+    @property
+    def total_messages(self) -> int:
+        """Messages sent across all supersteps."""
+        return sum(s.messages_sent for s in self.stats)
+
+    @property
+    def total_remote_messages(self) -> int:
+        """Cross-worker messages across all supersteps."""
+        return sum(s.remote_messages for s in self.stats)
+
+    def values_array(self, dtype=np.float64) -> np.ndarray:
+        """Vertex values as a dense array indexed by vertex id."""
+        arr = np.empty(len(self.values), dtype=dtype)
+        for vid, val in self.values.items():
+            arr[vid] = val
+        return arr
+
+
+class PregelEngine:
+    """Synchronous vertex-centric engine over simulated workers.
+
+    Args:
+        graph: the input graph (message topology = out-edges).
+        program: the vertex program to run.
+        partitioning: vertex -> worker assignment; its ``num_parts`` is
+            the worker count.
+        max_supersteps: safety cap (default 10_000).
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        program: VertexProgram,
+        partitioning: Partitioning | None = None,
+        max_supersteps: int = 10_000,
+    ):
+        if partitioning is None:
+            from repro.partitioning.hashing import HashPartitioner
+
+            partitioning = HashPartitioner().partition(graph, 1)
+        if partitioning.num_vertices != graph.num_vertices:
+            raise ValueError("partitioning does not match graph")
+        if max_supersteps < 1:
+            raise ValueError("max_supersteps must be >= 1")
+        self.graph = graph
+        self.program = program
+        self.partitioning = partitioning
+        self.max_supersteps = max_supersteps
+        self.num_workers = partitioning.num_parts
+        self.workers: list[Worker] = build_workers(partitioning, self.num_workers)
+        self._owner = partitioning.assignment  # vertex -> worker
+        self.superstep = 0
+        self.stats: list[SuperstepStats] = []
+        self._incoming = MessageStore(program.combiner)
+        self._prev_aggregates: dict = {}
+        for worker in self.workers:
+            worker.initialize(program, graph.num_vertices)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, max_supersteps: int | None = None) -> ExecutionResult:
+        """Run until global halt or the superstep cap."""
+        cap = max_supersteps if max_supersteps is not None else self.max_supersteps
+        halted = False
+        while self.superstep < cap:
+            if not self.step():
+                halted = True
+                break
+        return self.result(halted_normally=halted)
+
+    def step(self) -> bool:
+        """Execute one superstep; returns True while work remains."""
+        program = self.program
+        graph = self.graph
+        owner = self._owner
+        incoming = self._incoming
+        outgoing = MessageStore(program.combiner)
+        aggregators = {name: factory() for name, factory in program.aggregators().items()}
+
+        ctx = ComputeContext()
+        ctx.superstep = self.superstep
+        ctx.num_vertices = graph.num_vertices
+        ctx._aggregators = aggregators
+        ctx._prev_aggregates = self._prev_aggregates
+
+        incoming_dsts = set(incoming.destinations())
+        active = 0
+        sent = local = remote = remote_combined = 0
+
+        for worker in self.workers:
+            # Sender-side combining: one buffered slot per destination.
+            send_buffer: dict[int, list] = {}
+            wid = worker.worker_id
+            for v in worker.vertices:
+                v = int(v)
+                has_messages = v in incoming_dsts
+                if worker.halted[v] and not has_messages:
+                    continue
+                worker.halted[v] = False
+                active += 1
+                ctx.vertex_id = v
+                ctx.value = worker.values[v]
+                ctx._out_edges = graph.neighbors(v)
+                ctx._out_weights = graph.edge_weights(v)
+                ctx._outbox = []
+                ctx._halted = False
+                program.compute(ctx, incoming.messages_for(v) if has_messages else [])
+                worker.values[v] = ctx.value
+                worker.halted[v] = ctx._halted
+                sent += len(ctx._outbox)
+                combiner = program.combiner
+                for dst, msg in ctx._outbox:
+                    slot = send_buffer.get(dst)
+                    if slot is None:
+                        send_buffer[dst] = [msg]
+                    elif combiner is not None:
+                        slot[0] = combiner.combine(slot[0], msg)
+                    else:
+                        slot.append(msg)
+            # Flush this worker's buffer across the (simulated) network.
+            for dst, msgs in send_buffer.items():
+                is_remote = owner[dst] != wid
+                for msg in msgs:
+                    outgoing.deliver(dst, msg)
+                    if is_remote:
+                        remote_combined += 1
+                    else:
+                        local += 1
+            del send_buffer
+
+        remote = remote_combined
+        self.stats.append(
+            SuperstepStats(
+                superstep=self.superstep,
+                active_vertices=active,
+                messages_sent=sent,
+                local_messages=local,
+                remote_messages=remote,
+                remote_bytes=remote * program.message_bytes,
+            )
+        )
+        self._prev_aggregates = {name: agg.value for name, agg in aggregators.items()}
+        self._incoming = outgoing
+        self.superstep += 1
+        return bool(outgoing) or any(
+            not halted for worker in self.workers for halted in worker.halted.values()
+        )
+
+    # ------------------------------------------------------------------
+    # Results and state
+    # ------------------------------------------------------------------
+    def values(self) -> dict:
+        """Current vertex values keyed by global vertex id."""
+        merged: dict = {}
+        for worker in self.workers:
+            merged.update(worker.values)
+        return merged
+
+    def result(self, halted_normally: bool) -> ExecutionResult:
+        """Snapshot the current outcome as an ExecutionResult."""
+        return ExecutionResult(
+            values=self.values(),
+            supersteps_run=self.superstep,
+            halted_normally=halted_normally,
+            stats=list(self.stats),
+            aggregates=dict(self._prev_aggregates),
+        )
+
+    # ------------------------------------------------------------------
+    # Checkpoint hooks (see repro.engine.checkpoint)
+    # ------------------------------------------------------------------
+    def capture_state(self) -> dict:
+        """Snapshot of everything needed to resume this computation."""
+        return {
+            "superstep": self.superstep,
+            "workers": [w.state_snapshot() for w in self.workers],
+            "pending_messages": self._incoming.as_dict(),
+            "prev_aggregates": dict(self._prev_aggregates),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Resume from a :meth:`capture_state` snapshot.
+
+        The worker layout may differ from the snapshot's (the whole point
+        of Hourglass reconfiguration): values/halted flags are re-scattered
+        to whichever worker now owns each vertex.
+        """
+        values: dict = {}
+        halted: dict = {}
+        for snap in state["workers"]:
+            values.update(snap["values"])
+            halted.update(snap["halted"])
+        if len(values) != self.graph.num_vertices:
+            raise ValueError(
+                f"snapshot covers {len(values)} vertices, graph has "
+                f"{self.graph.num_vertices}"
+            )
+        for worker in self.workers:
+            worker.values = {int(v): values[int(v)] for v in worker.vertices}
+            worker.halted = {int(v): halted[int(v)] for v in worker.vertices}
+        self.superstep = int(state["superstep"])
+        self._incoming = MessageStore.from_dict(
+            state["pending_messages"], self.program.combiner
+        )
+        self._prev_aggregates = dict(state["prev_aggregates"])

@@ -1,0 +1,198 @@
+"""Shared experiment plumbing: setup, per-cell simulation sweeps.
+
+Every figure module builds an :class:`ExperimentSetup` (synthetic market
++ catalogue + per-application performance models, all seeded) and uses
+:func:`sweep_strategy` to run many randomly-started simulations of one
+(application, slack, strategy) cell, the paper's §8.1 methodology.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.cloud.configuration import Configuration, default_catalog
+from repro.cloud.instance import R4_8XLARGE, R4_FAMILY
+from repro.cloud.market import SpotMarket
+from repro.core.baselines import (
+    DeadlineProtected,
+    HourglassNaiveProvisioner,
+    OnDemandProvisioner,
+    ProteusProvisioner,
+    SpotOnProvisioner,
+)
+from repro.core.job import ApplicationProfile, job_with_slack
+from repro.core.perfmodel import (
+    RELOAD_FULL,
+    RELOAD_MICRO,
+    PerformanceModel,
+    last_resort,
+)
+from repro.core.provisioner import HourglassProvisioner, Provisioner
+from repro.core.simulator import ExecutionSimulator, on_demand_baseline_cost
+from repro.utils.rng import derive_rng
+from repro.utils.units import HOURS
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """Aggregated outcome of one (app, slack, strategy) cell."""
+
+    strategy: str
+    app: str
+    slack_percent: int
+    normalized_cost: float
+    missed_percent: float
+    simulations: int
+    mean_evictions: float
+    mean_deployments: float
+
+    def as_row(self) -> dict:
+        """Flatten to a plain dict for tabular reports."""
+        return {
+            "app": self.app,
+            "slack%": self.slack_percent,
+            "strategy": self.strategy,
+            "norm_cost": round(self.normalized_cost, 3),
+            "missed%": round(self.missed_percent, 1),
+            "sims": self.simulations,
+            "evictions/run": round(self.mean_evictions, 2),
+        }
+
+
+class ExperimentSetup:
+    """Seeded market + catalogue + performance-model factory.
+
+    Args:
+        seed: master seed; the market's history ("October") and
+            evaluation ("November") traces derive from it.
+        trace_days: evaluation trace length.
+        reload_mode: default reload mode for performance models.
+    """
+
+    def __init__(self, seed: int = 42, trace_days: int = 30, reload_mode: str = RELOAD_MICRO):
+        self.seed = seed
+        self.market = SpotMarket.synthetic(
+            R4_FAMILY, duration=trace_days * 24 * HOURS, seed=seed
+        )
+        self.catalog = tuple(default_catalog())
+        self.reload_mode = reload_mode
+
+    def perf_model(
+        self, profile: ApplicationProfile, reload_mode: str | None = None
+    ) -> PerformanceModel:
+        """Performance model anchored at the last-resort configuration."""
+        mode = reload_mode if reload_mode is not None else self.reload_mode
+        lrc = last_resort(
+            self.catalog,
+            lambda ref: PerformanceModel(profile=profile, reference=ref, reload_mode=mode),
+        )
+        return PerformanceModel(profile=profile, reference=lrc, reload_mode=mode)
+
+    def lrc(self, perf: PerformanceModel) -> Configuration:
+        """Last-resort configuration for *perf* over this catalogue."""
+        return last_resort(self.catalog, lambda ref: perf)
+
+    def start_times(self, count: int, job_budget: float, seed_key: str = "starts") -> np.ndarray:
+        """Random job start times leaving *job_budget* of trace headroom."""
+        rng = derive_rng(self.seed, seed_key)
+        horizon = self.market.horizon - job_budget
+        if horizon <= 0:
+            raise ValueError("trace too short for the requested job budget")
+        return rng.uniform(self.market.start, horizon, size=count)
+
+
+#: Strategy registry used by Fig 1/5/7: name -> fresh provisioner.
+def strategy_registry() -> dict[str, Callable[[], Provisioner]]:
+    """Name -> fresh-provisioner factory for the figure harnesses."""
+    return {
+        "hourglass": HourglassProvisioner,
+        "proteus": ProteusProvisioner,
+        "spoton": SpotOnProvisioner,
+        "proteus+dp": lambda: DeadlineProtected(ProteusProvisioner()),
+        "spoton+dp": lambda: DeadlineProtected(SpotOnProvisioner()),
+        "hourglass-naive": HourglassNaiveProvisioner,
+        "on-demand": OnDemandProvisioner,
+    }
+
+
+def sweep_strategy(
+    setup: ExperimentSetup,
+    profile: ApplicationProfile,
+    slack_fraction: float,
+    provisioner: Provisioner,
+    num_simulations: int = 40,
+    reload_mode: str | None = None,
+    offline_cost: float = 0.0,
+) -> CellResult:
+    """Run one cell: many random-start simulations of one strategy.
+
+    The job deadline and the normalising baseline cost are both defined
+    by the *conventional* stack — an on-demand last-resort run with the
+    full (shuffle) reload — so they are identical for every strategy.
+    The strategy under test then runs with its own reload mode: micro
+    (fast reload) for Hourglass, full for the prior-work baselines.
+    Hourglass's reload advantage therefore shows up as extra effective
+    slack and cheaper recoveries, exactly as in the paper.
+
+    Args:
+        reload_mode: reload mode for the strategy under test (defaults
+            to micro for ``hourglass*`` strategies, full otherwise).
+        offline_cost: per-run offline (partitioning) dollars added to
+            each simulation's cost (Fig 7's METIS-vs-µMETIS ablation).
+    """
+    if reload_mode is None:
+        reload_mode = (
+            RELOAD_MICRO if provisioner.name.startswith("hourglass") else RELOAD_FULL
+        )
+    reference_perf = setup.perf_model(profile, RELOAD_FULL)
+    reference_lrc = setup.lrc(reference_perf)
+    baseline = on_demand_baseline_cost(reference_perf, reference_lrc)
+    deadline_fixed = reference_perf.fixed_time(reference_lrc)
+
+    perf = setup.perf_model(profile, reload_mode)
+    sim = ExecutionSimulator(
+        setup.market, perf, setup.catalog, provisioner, record_events=False
+    )
+    # Generous per-run budget: worst case is many evictions on slow shapes.
+    budget = 8 * (deadline_fixed + reference_perf.exec_time(reference_lrc) * (2 + slack_fraction))
+    starts = setup.start_times(
+        num_simulations, budget, seed_key=f"{profile.name}-{slack_fraction}"
+    )
+    costs = np.empty(num_simulations)
+    missed = 0
+    evictions = 0
+    deployments = 0
+    for i, start in enumerate(starts):
+        job = job_with_slack(profile, float(start), slack_fraction, deadline_fixed)
+        result = sim.run(job)
+        costs[i] = result.cost + offline_cost
+        missed += result.missed_deadline
+        evictions += result.evictions
+        deployments += result.deployments
+    return CellResult(
+        strategy=provisioner.name,
+        app=profile.name,
+        slack_percent=int(round(100 * slack_fraction)),
+        normalized_cost=float(costs.mean() / baseline),
+        missed_percent=100.0 * missed / num_simulations,
+        simulations=num_simulations,
+        mean_evictions=evictions / num_simulations,
+        mean_deployments=deployments / num_simulations,
+    )
+
+
+def offline_partition_cost(
+    perf: PerformanceModel, distinct_worker_counts: int, reload_mode: str
+) -> float:
+    """Dollars of offline partitioning work charged per job run (Fig 7).
+
+    Micro-partitioning runs the offline partitioner once; the
+    conventional scheme must pre-partition for every distinct worker
+    count in the catalogue.  Billed on one r4.8xlarge on-demand machine.
+    """
+    runs = 1 if reload_mode == RELOAD_MICRO else distinct_worker_counts
+    seconds = perf.partition_compute_time() * runs
+    return R4_8XLARGE.on_demand_price * seconds / 3600.0

@@ -1,0 +1,101 @@
+"""Figure 5: overall comparison with the state of the art.
+
+Thirty scenarios: {SSSP, PageRank, GraphColoring} x slack 10..100 %,
+five provisioners (Hourglass, Proteus, SpotOn, Proteus+DP, SpotOn+DP).
+For every cell we report the mean cost normalised to the on-demand
+last-resort run and the percentage of runs missing the deadline.
+
+Expected shape (paper): Hourglass never misses and its cost approaches
+or beats the deadline-oblivious greedy strategies; Proteus/SpotOn miss
+heavily on the long GC job (eviction-driven) and moderately on short
+jobs; the +DP variants meet deadlines but save much less, especially at
+small slacks.
+"""
+
+from __future__ import annotations
+
+from repro.core.job import COLORING_PROFILE, PAGERANK_PROFILE, SSSP_PROFILE
+from repro.experiments.common import (
+    CellResult,
+    ExperimentSetup,
+    strategy_registry,
+    sweep_strategy,
+)
+from repro.experiments.report import format_table
+
+DEFAULT_SLACKS = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0)
+DEFAULT_STRATEGIES = ("hourglass", "proteus", "spoton", "proteus+dp", "spoton+dp")
+PROFILES = {
+    "sssp": SSSP_PROFILE,
+    "pagerank": PAGERANK_PROFILE,
+    "coloring": COLORING_PROFILE,
+}
+
+
+def run(
+    setup: ExperimentSetup | None = None,
+    apps=("sssp", "pagerank", "coloring"),
+    slacks=DEFAULT_SLACKS,
+    strategies=DEFAULT_STRATEGIES,
+    num_simulations: int = 40,
+) -> list[CellResult]:
+    """Run the Fig 5 grid; one CellResult per (app, slack, strategy)."""
+    setup = setup or ExperimentSetup()
+    registry = strategy_registry()
+    results = []
+    for app in apps:
+        profile = PROFILES[app]
+        for slack in slacks:
+            for strategy in strategies:
+                results.append(
+                    sweep_strategy(
+                        setup,
+                        profile,
+                        slack,
+                        registry[strategy](),
+                        num_simulations=num_simulations,
+                    )
+                )
+    return results
+
+
+def render(results) -> str:
+    """Render the experiment rows as an aligned text table."""
+    sections = []
+    for app in dict.fromkeys(r.app for r in results):
+        rows = [r.as_row() for r in results if r.app == app]
+        sections.append(
+            format_table(
+                rows,
+                columns=["slack%", "strategy", "norm_cost", "missed%", "evictions/run"],
+                title=f"Figure 5 — {app}: normalised cost / missed deadlines",
+            )
+        )
+    return "\n\n".join(sections)
+
+
+def check_invariants(results) -> list[str]:
+    """Cross-cell sanity assertions mirroring the paper's claims.
+
+    Returns a list of violated claims (empty = all hold).
+    """
+    problems = []
+    for r in results:
+        if r.strategy == "hourglass" and r.missed_percent > 0:
+            problems.append(
+                f"hourglass missed {r.missed_percent:.0f}% on {r.app} at "
+                f"{r.slack_percent}% slack"
+            )
+        if r.strategy.endswith("+dp") and r.missed_percent > 0:
+            problems.append(
+                f"{r.strategy} missed {r.missed_percent:.0f}% on {r.app} at "
+                f"{r.slack_percent}% slack"
+            )
+    return problems
+
+
+if __name__ == "__main__":  # pragma: no cover
+    res = run(num_simulations=20)
+    print(render(res))
+    for problem in check_invariants(res):
+        print("VIOLATION:", problem)

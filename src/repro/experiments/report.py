@@ -1,0 +1,68 @@
+"""Plain-text table rendering for experiment reports.
+
+Every experiment returns rows of plain dicts; these helpers render them
+as aligned fixed-width tables (what the benchmark harness prints) and as
+Markdown (what EXPERIMENTS.md embeds).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def format_table(rows: Sequence[dict], columns: Sequence[str] | None = None, title: str = "") -> str:
+    """Render rows as an aligned text table.
+
+    Args:
+        rows: list of dicts with consistent keys.
+        columns: column order (defaults to the first row's key order).
+        title: optional heading line.
+    """
+    if not rows:
+        return f"{title}\n(no data)" if title else "(no data)"
+    cols = list(columns) if columns else list(rows[0].keys())
+    rendered = [[_cell(row.get(c, "")) for c in cols] for row in rows]
+    widths = [
+        max(len(c), *(len(r[i]) for r in rendered)) for i, c in enumerate(cols)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(c.ljust(w) for c, w in zip(cols, widths))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for r in rendered:
+        lines.append("  ".join(v.rjust(w) if _numericish(v) else v.ljust(w) for v, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def format_markdown(rows: Sequence[dict], columns: Sequence[str] | None = None) -> str:
+    """Render rows as a GitHub-flavoured Markdown table."""
+    if not rows:
+        return "(no data)"
+    cols = list(columns) if columns else list(rows[0].keys())
+    lines = ["| " + " | ".join(cols) + " |", "|" + "|".join("---" for _ in cols) + "|"]
+    for row in rows:
+        lines.append("| " + " | ".join(_cell(row.get(c, "")) for c in cols) + " |")
+    return "\n".join(lines)
+
+
+def _cell(value) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, int):
+        return f"{value:,}" if abs(value) >= 10_000 else str(value)
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def _numericish(text: str) -> bool:
+    stripped = text.replace(",", "").replace("%", "").replace("-", "").replace(".", "")
+    return stripped.isdigit() if stripped else False

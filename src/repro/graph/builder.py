@@ -1,0 +1,77 @@
+"""Incremental graph construction.
+
+:class:`GraphBuilder` collects edges one at a time (or in batches) and
+produces an immutable :class:`~repro.graph.graph.Graph`.  It exists for
+tests, examples and streaming inputs where the full edge arrays are not
+known up-front.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.graph.graph import Graph, from_edges
+
+
+class GraphBuilder:
+    """Accumulates edges and builds a CSR :class:`Graph`.
+
+    Example:
+        >>> b = GraphBuilder()
+        >>> b.add_edge(0, 1)
+        >>> b.add_edge(1, 2, weight=2.5)
+        >>> g = b.build()
+        >>> g.num_vertices, g.num_edges
+        (3, 2)
+    """
+
+    def __init__(self, num_vertices: int | None = None, name: str = ""):
+        self._num_vertices = num_vertices
+        self._name = name
+        self._src: list[int] = []
+        self._dst: list[int] = []
+        self._weights: list[float] = []
+        self._weighted = False
+
+    def add_edge(self, src: int, dst: int, weight: float | None = None) -> None:
+        """Append one directed edge."""
+        if src < 0 or dst < 0:
+            raise ValueError(f"vertex ids must be non-negative, got ({src}, {dst})")
+        if weight is not None and not self._weighted and self._src:
+            raise ValueError("cannot mix weighted and unweighted edges")
+        if weight is None and self._weighted:
+            raise ValueError("cannot mix weighted and unweighted edges")
+        self._src.append(int(src))
+        self._dst.append(int(dst))
+        if weight is not None:
+            self._weighted = True
+            self._weights.append(float(weight))
+
+    def add_edges(self, edges: Iterable[tuple[int, int]]) -> None:
+        """Append many unweighted edges."""
+        for src, dst in edges:
+            self.add_edge(src, dst)
+
+    def add_undirected_edge(self, u: int, v: int, weight: float | None = None) -> None:
+        """Append both directions of an undirected edge."""
+        self.add_edge(u, v, weight)
+        self.add_edge(v, u, weight)
+
+    @property
+    def num_pending_edges(self) -> int:
+        """Number of edges added so far."""
+        return len(self._src)
+
+    def build(self, dedup: bool = False) -> Graph:
+        """Materialise the accumulated edges as an immutable graph."""
+        weights = np.asarray(self._weights) if self._weighted else None
+        return from_edges(
+            np.asarray(self._src, dtype=np.int64),
+            np.asarray(self._dst, dtype=np.int64),
+            num_vertices=self._num_vertices,
+            weights=weights,
+            name=self._name,
+            dedup=dedup,
+        )

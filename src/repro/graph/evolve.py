@@ -1,0 +1,113 @@
+"""Graph evolution: producing the next snapshot of a dynamic graph.
+
+The paper's motivating workload is *recurrent* analysis: the target
+graphs change continuously (§1 cites anomaly detection and trending
+topics), so every period processes a fresh snapshot.  This module
+evolves a graph into its next snapshot:
+
+* a fraction of existing edges churn away;
+* new edges arrive with preferential attachment (keeping the degree
+  skew of social graphs);
+* new vertices join, wiring into the existing graph.
+
+Used by the recurring-snapshot example and by the incremental
+micro-partitioning tests (:mod:`repro.partitioning.incremental`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.graph import Graph, from_edges
+from repro.utils.rng import derive_rng
+from repro.utils.validation import check_fraction
+
+
+def evolve_graph(
+    graph: Graph,
+    edge_churn: float = 0.05,
+    vertex_growth: float = 0.02,
+    new_vertex_degree: int = 6,
+    seed=None,
+) -> Graph:
+    """Produce the next snapshot of *graph*.
+
+    Args:
+        graph: the current snapshot.
+        edge_churn: fraction of existing directed edges removed, and the
+            same number of fresh edges added (preferential attachment).
+        vertex_growth: fraction of new vertices appended (ids continue
+            after the existing range, so old ids remain stable —
+            the property incremental partition maintenance relies on).
+        new_vertex_degree: undirected edges wired per new vertex.
+        seed: RNG seed.
+
+    Returns:
+        The evolved graph (same name, larger or equal vertex count).
+    """
+    check_fraction("edge_churn", edge_churn)
+    check_fraction("vertex_growth", vertex_growth)
+    if new_vertex_degree < 1:
+        raise ValueError("new_vertex_degree must be >= 1")
+    rng = derive_rng(seed, "evolve")
+    n_old = graph.num_vertices
+    edges = graph.edge_array()
+
+    # 1. Edge churn: drop a uniform sample of directed edges.
+    keep_mask = rng.random(len(edges)) >= edge_churn
+    kept = edges[keep_mask]
+
+    # 2. New edges with preferential attachment (degree-proportional
+    #    endpoint sampling keeps the power-law shape).
+    num_new_edges = len(edges) - len(kept)
+    degrees = graph.out_degrees() + graph.in_degrees() + 1
+    probs = degrees / degrees.sum()
+    new_src = rng.choice(n_old, size=num_new_edges, p=probs)
+    new_dst = rng.choice(n_old, size=num_new_edges, p=probs)
+    ok = new_src != new_dst
+    new_edges = np.column_stack([new_src[ok], new_dst[ok]])
+
+    # 3. Vertex growth: each newcomer wires to degree-weighted targets.
+    num_new_vertices = int(round(vertex_growth * n_old))
+    n_new = n_old + num_new_vertices
+    grown_src: list[int] = []
+    grown_dst: list[int] = []
+    for i in range(num_new_vertices):
+        vid = n_old + i
+        targets = rng.choice(n_old, size=new_vertex_degree, p=probs)
+        for target in np.unique(targets):
+            grown_src += [vid, int(target)]
+            grown_dst += [int(target), vid]
+
+    src = np.concatenate([kept[:, 0], new_edges[:, 0], np.asarray(grown_src, dtype=np.int64)])
+    dst = np.concatenate([kept[:, 1], new_edges[:, 1], np.asarray(grown_dst, dtype=np.int64)])
+    return from_edges(src, dst, num_vertices=n_new, name=graph.name, dedup=True)
+
+
+def snapshot_sequence(
+    graph: Graph,
+    count: int,
+    edge_churn: float = 0.05,
+    vertex_growth: float = 0.02,
+    seed=None,
+):
+    """Yield *count* successive snapshots (not including the input)."""
+    if count < 0:
+        raise ValueError("count must be >= 0")
+    current = graph
+    for i in range(count):
+        current = evolve_graph(
+            current,
+            edge_churn=edge_churn,
+            vertex_growth=vertex_growth,
+            seed=derive_rng(seed, "snapshot", i),
+        )
+        yield current
+
+
+def edge_jaccard(a: Graph, b: Graph) -> float:
+    """Jaccard similarity of two graphs' directed edge sets."""
+    ea = set(map(tuple, a.edge_array()))
+    eb = set(map(tuple, b.edge_array()))
+    union = len(ea | eb)
+    return len(ea & eb) / union if union else 1.0

@@ -1,0 +1,10 @@
+"""End-to-end runtime: real vertex programs over the simulated market."""
+
+from repro.runtime.mechmodel import MechanisticPerformanceModel
+from repro.runtime.runtime import HourglassRuntime, RuntimeResult
+
+__all__ = [
+    "HourglassRuntime",
+    "MechanisticPerformanceModel",
+    "RuntimeResult",
+]

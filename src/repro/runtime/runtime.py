@@ -1,0 +1,329 @@
+"""End-to-end Hourglass runtime: real graph jobs over the spot market.
+
+This is the paper's Fig 2 loop with every component real:
+
+* the **job** is an actual vertex program executed superstep by
+  superstep on the Pregel engine;
+* the **graph** is micro-partitioned offline; every (re)deployment
+  clusters the shards for the selected configuration's worker count and
+  builds a fresh engine over that partitioning;
+* **checkpoints** capture the real engine state into the simulated
+  external datastore on the Daly interval;
+* **evictions** replay from the market trace; recovery restores the
+  last checkpoint onto the new deployment (the engine re-scatters state
+  to the new owners — parallel recovery);
+* **time** is simulated: superstep durations come from the calibrated
+  :class:`~repro.runtime.mechmodel.MechanisticPerformanceModel`, and the
+  bill integrates market prices over every machine-second.
+
+The result carries both the *systems* outcome (cost, deadline,
+evictions) and the *computation* outcome (the vertex values), letting
+tests assert that a job battered by evictions still produces exactly
+the undisturbed answer.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.cloud.configuration import Configuration
+from repro.cloud.market import SpotMarket
+from repro.core.ckpt_policy import daly_interval
+from repro.core.provisioner import Provisioner, ProvisioningContext
+from repro.core.slack import SlackModel
+from repro.engine.checkpoint import CheckpointManager
+from repro.engine.datastore import DataStore
+from repro.engine.engine import PregelEngine
+from repro.engine.loader import MicroLoader
+from repro.graph.graph import Graph
+from repro.partitioning.micro import MicroPartitioner, MicroPartitioning
+from repro.runtime.mechmodel import MechanisticPerformanceModel
+
+_MAX_STEPS = 100_000
+
+
+class RuntimeError_(RuntimeError):
+    """Raised when the runtime cannot make progress."""
+
+
+@dataclass(frozen=True)
+class RuntimeEvent:
+    """One timeline entry: (time, kind, config, superstep)."""
+
+    t: float
+    kind: str  # deploy | eviction | checkpoint | finish
+    config: str
+    superstep: int
+
+
+@dataclass(frozen=True)
+class RuntimeResult:
+    """Outcome of one end-to-end execution."""
+
+    values: dict
+    cost: float
+    finish_time: float
+    deadline: float
+    evictions: int
+    deployments: int
+    checkpoints: int
+    supersteps: int
+    events: tuple = ()
+
+    @property
+    def missed_deadline(self) -> bool:
+        """Whether the run finished after its deadline."""
+        return self.finish_time > self.deadline + 1e-6
+
+
+class HourglassRuntime:
+    """Runs one vertex program to completion over the spot market.
+
+    Args:
+        graph: the input graph.
+        program_factory: zero-argument callable producing a fresh
+            vertex-program instance (one per engine construction).
+        market: the replayed spot market.
+        catalog: candidate configurations.
+        provisioner: the provisioning strategy (Hourglass or a baseline).
+        num_micro_parts: shard count for the offline micro-partitioning.
+        datastore: external store for checkpoints (fresh one by default).
+        seed: randomness for partitioning/clustering.
+        time_scale / data_scale: emulate a larger dataset of the same
+            topology: multiply simulated superstep durations and data
+            volumes (a repro-scale graph runs in simulated seconds,
+            where no eviction could ever land; scaling makes the market
+            matter while the computation stays exact).
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        program_factory,
+        market: SpotMarket,
+        catalog,
+        provisioner: Provisioner,
+        num_micro_parts: int = 64,
+        datastore: DataStore | None = None,
+        seed=None,
+        time_scale: float = 1.0,
+        data_scale: float = 1.0,
+    ):
+        self.graph = graph
+        self.program_factory = program_factory
+        self.market = market
+        self.catalog = tuple(catalog)
+        self.provisioner = provisioner
+        self.datastore = datastore or DataStore()
+        self.seed = seed
+
+        # Offline phase: micro-partition once (Fig 2 step 1).
+        self.artefact: MicroPartitioning = MicroPartitioner(
+            num_micro_parts=num_micro_parts
+        ).build(graph, seed=seed)
+        self.loader = MicroLoader(self.artefact)
+
+        # Calibration: one undisturbed run, then anchor the model at the
+        # fastest on-demand shape (mirroring core.perfmodel.last_resort).
+        on_demand = [c for c in self.catalog if not c.is_transient]
+        if not on_demand:
+            raise ValueError("catalogue needs an on-demand configuration")
+        pilot_ref = on_demand[0]
+        calibration = self._calibrate(pilot_ref)
+        pilot = MechanisticPerformanceModel(
+            graph=graph,
+            calibration=calibration,
+            reference=pilot_ref,
+            time_scale=time_scale,
+            data_scale=data_scale,
+        )
+        self.lrc = min(on_demand, key=pilot.exec_time)
+        if self.lrc == pilot_ref:
+            self.perf = pilot
+        else:
+            self.perf = MechanisticPerformanceModel(
+                graph=graph,
+                calibration=self._calibrate(self.lrc),
+                reference=self.lrc,
+                time_scale=time_scale,
+                data_scale=data_scale,
+            )
+
+    def _calibrate(self, config: Configuration) -> object:
+        partitioning = self.artefact.cluster(config.num_workers, seed=self.seed)
+        engine = PregelEngine(self.graph, self.program_factory(), partitioning)
+        return engine.run()
+
+    # ------------------------------------------------------------------
+    def execute(self, release_time: float, deadline: float) -> RuntimeResult:
+        """Run the job between *release_time* and *deadline*."""
+        if deadline <= release_time:
+            raise ValueError("deadline must be after release_time")
+        slack_model = SlackModel(perf=self.perf, lrc=self.lrc, deadline=deadline)
+        self.provisioner.reset()
+        job_id = f"runtime-{release_time:.0f}"
+        checkpoints = CheckpointManager(self.datastore, job_id)
+
+        t = release_time
+        cost = 0.0
+        supersteps_done = 0
+        events: list[RuntimeEvent] = []
+
+        def record(kind: str, at: float) -> None:
+            events.append(
+                RuntimeEvent(
+                    t=at,
+                    kind=kind,
+                    config=config.name if config else "-",
+                    superstep=supersteps_done,
+                )
+            )
+        engine: PregelEngine | None = None
+        config: Configuration | None = None
+        machine_start = 0.0
+        eviction_at: float | None = None
+        evictions = deployments = checkpoint_count = 0
+
+        for _ in range(_MAX_STEPS):
+            work_left = 1.0 - self.perf.work_fraction_done(supersteps_done)
+            finished = engine is not None and not self._has_work(engine)
+            if finished:
+                break
+            if t >= self.market.horizon:
+                raise RuntimeError_("trace horizon reached; use a longer trace")
+
+            ctx = ProvisioningContext(
+                t=t,
+                work_left=max(work_left, 0.0),
+                current_config=config,
+                current_uptime=(t - machine_start) if config else 0.0,
+                slack_model=slack_model,
+                market=self.market,
+                catalog=self.catalog,
+            )
+            choice = self.provisioner.select(ctx)
+
+            if engine is None or choice != config:
+                # (Re)deploy: cluster shards, load, restore checkpoint.
+                config = choice
+                machine_start = t
+                deployments += 1
+                eviction_at = self.market.eviction_time(config, t)
+                setup = self.perf.setup_time(config)
+                record("deploy", t)
+                if eviction_at is not None and eviction_at < t + setup:
+                    cost += self.market.cost(config, t, eviction_at)
+                    t = eviction_at
+                    evictions += 1
+                    record("eviction", t)
+                    config = None
+                    engine = None
+                    continue
+                load = self.loader.load(self.graph, config.num_workers, seed=self.seed)
+                engine = PregelEngine(
+                    self.graph, self.program_factory(), load.partitioning
+                )
+                if checkpoints.latest() is not None:
+                    checkpoints.load_into(engine)
+                supersteps_done = engine.superstep
+                cost += self.market.cost(config, t, t + setup)
+                t += setup
+
+            # Run supersteps until checkpoint due / limit / completion,
+            # accumulating calibrated simulated time.
+            save_time = self.perf.save_time(config)
+            if config.is_transient:
+                mttf = self.market.eviction_model(config).mttf
+                budget = daly_interval(save_time, mttf)
+            else:
+                budget = math.inf
+            limit = self.provisioner.segment_limit(ctx)
+            if limit < budget:
+                budget = max(0.0, limit)
+
+            elapsed = 0.0
+            ran_any = False
+            while self._has_work(engine):
+                step_time = self._step_seconds(engine, config)
+                if ran_any and elapsed + step_time > budget:
+                    break
+                engine.step()
+                supersteps_done = engine.superstep
+                elapsed += step_time
+                ran_any = True
+                if elapsed >= budget:
+                    break
+            segment_end = t + elapsed
+            save_end = segment_end + save_time
+            if save_end >= self.market.horizon:
+                raise RuntimeError_("trace horizon reached; use a longer trace")
+
+            if (
+                config.is_transient
+                and eviction_at is not None
+                and eviction_at < save_end
+            ):
+                # Evicted before persisting: roll back to the last
+                # checkpoint (or scratch) — real lost work.
+                cost += self.market.cost(config, t, eviction_at)
+                t = eviction_at
+                evictions += 1
+                record("eviction", t)
+                engine = None
+                config = None
+                supersteps_done = self._checkpointed_superstep(checkpoints)
+                continue
+
+            cost += self.market.cost(config, t, save_end)
+            t = save_end
+            if self._has_work(engine):
+                checkpoints.save(engine, num_writers=config.num_workers)
+                checkpoint_count += 1
+                record("checkpoint", t)
+            else:
+                record("finish", t)
+                break
+        else:
+            raise RuntimeError_("runtime exceeded the step budget")
+
+        if engine is None or self._has_work(engine):
+            raise RuntimeError_("job did not finish (internal error)")
+        return RuntimeResult(
+            values=engine.values(),
+            cost=cost,
+            finish_time=t,
+            deadline=deadline,
+            evictions=evictions,
+            deployments=deployments,
+            checkpoints=checkpoint_count,
+            supersteps=engine.superstep,
+            events=tuple(events),
+        )
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _has_work(engine: PregelEngine) -> bool:
+        if engine._incoming:
+            return True
+        return any(
+            not halted
+            for worker in engine.workers
+            for halted in worker.halted.values()
+        )
+
+    def _step_seconds(self, engine: PregelEngine, config: Configuration) -> float:
+        """Predicted cost of the *next* superstep on *config*.
+
+        Uses the calibration's statistics for the same superstep index
+        (falling back to the last calibrated superstep for
+        data-dependent overruns).
+        """
+        stats = self.perf.calibration.stats
+        index = min(engine.superstep, len(stats) - 1)
+        return self.perf.superstep_seconds(stats[index], config)
+
+    @staticmethod
+    def _checkpointed_superstep(checkpoints: CheckpointManager) -> int:
+        latest = checkpoints.latest()
+        return latest.superstep if latest is not None else 0

@@ -1,0 +1,36 @@
+"""Shared utilities: deterministic RNG plumbing, unit helpers, validation."""
+
+from repro.utils.rng import derive_rng, spawn_rngs
+from repro.utils.units import (
+    GiB,
+    HOURS,
+    MINUTES,
+    MiB,
+    SECONDS,
+    format_duration,
+    format_money,
+    hours,
+    minutes,
+)
+from repro.utils.validation import (
+    check_fraction,
+    check_non_negative,
+    check_positive,
+)
+
+__all__ = [
+    "derive_rng",
+    "spawn_rngs",
+    "SECONDS",
+    "MINUTES",
+    "HOURS",
+    "MiB",
+    "GiB",
+    "hours",
+    "minutes",
+    "format_duration",
+    "format_money",
+    "check_fraction",
+    "check_non_negative",
+    "check_positive",
+]

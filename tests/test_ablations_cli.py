@@ -1,0 +1,78 @@
+"""Tests for the ablation studies and the CLI experiment runner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ExperimentSetup, ablations
+from repro.experiments.__main__ import EXPERIMENTS, main
+
+
+@pytest.fixture(scope="module")
+def setup():
+    return ExperimentSetup(seed=5, trace_days=10)
+
+
+class TestCheckpointAblation:
+    def test_rows_and_safety(self, setup):
+        rows = ablations.checkpoint_interval_ablation(
+            setup, scales=(0.5, 1.0, 8.0), num_simulations=3
+        )
+        assert [r["interval_scale"] for r in rows] == [0.5, 1.0, 8.0]
+        # Interval scales monotonically with the knob.
+        intervals = [r["interval_s"] for r in rows]
+        assert intervals == sorted(intervals)
+        # Hourglass stays deadline-safe under any interval policy.
+        assert all(r["missed%"] == 0 for r in rows)
+
+    def test_simulator_rejects_bad_scale(self, setup):
+        from repro.core import ExecutionSimulator, OnDemandProvisioner
+        from repro.core.job import SSSP_PROFILE
+
+        perf = setup.perf_model(SSSP_PROFILE)
+        with pytest.raises(ValueError):
+            ExecutionSimulator(
+                setup.market, perf, setup.catalog, OnDemandProvisioner(),
+                ckpt_interval_scale=0.0,
+            )
+
+
+class TestMicroCountAblation:
+    def test_quotient_growth(self):
+        rows = ablations.micro_count_ablation(
+            dataset="hollywood", micro_counts=(16, 64), seed=3
+        )
+        assert rows[0]["micro_parts"] == 16
+        assert rows[1]["quotient_edges"] >= rows[0]["quotient_edges"]
+        for row in rows:
+            assert 0 <= row["micro_cut%"] <= 100
+
+
+class TestWarningAblation:
+    def test_zero_lead_is_baseline(self, setup):
+        rows = ablations.warning_ablation(setup, leads=(0.0, 300.0), num_simulations=3)
+        assert rows[0]["warning_s"] == 0
+        assert rows[1]["norm_cost"] <= rows[0]["norm_cost"] * 1.1
+
+
+class TestCli:
+    def test_experiment_list(self):
+        assert "fig1" in EXPERIMENTS
+        assert "ablations" in EXPERIMENTS
+
+    def test_quick_run_writes_outputs(self, tmp_path, capsys):
+        code = main(["--quick", "--seed", "5", "--out", str(tmp_path), "table2", "fig6"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out
+        assert "Figure 6" in out
+        assert (tmp_path / "table2.txt").exists()
+        assert (tmp_path / "fig6.txt").exists()
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+
+    def test_render_helper(self):
+        rendered = ablations.render([{"a": 1}], "Title")
+        assert rendered.startswith("Title")

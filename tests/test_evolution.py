@@ -1,0 +1,120 @@
+"""Tests for graph evolution and incremental micro-partition maintenance."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    edge_jaccard,
+    evolve_graph,
+    get_dataset,
+    snapshot_sequence,
+)
+from repro.graph.generators import power_law_social
+from repro.partitioning import (
+    MicroPartitioner,
+    edge_cut_fraction,
+    staleness,
+    update_micro_partitioning,
+)
+from repro.graph.stats import gini
+
+
+@pytest.fixture(scope="module")
+def base_graph():
+    return get_dataset("hollywood").generate(seed=3)
+
+
+class TestEvolveGraph:
+    def test_vertex_ids_stable(self, base_graph):
+        evolved = evolve_graph(base_graph, seed=1)
+        assert evolved.num_vertices >= base_graph.num_vertices
+
+    def test_vertex_growth(self, base_graph):
+        evolved = evolve_graph(base_graph, vertex_growth=0.1, seed=1)
+        expected = base_graph.num_vertices + round(0.1 * base_graph.num_vertices)
+        assert evolved.num_vertices == expected
+
+    def test_churn_changes_edges(self, base_graph):
+        evolved = evolve_graph(base_graph, edge_churn=0.2, vertex_growth=0.0, seed=1)
+        similarity = edge_jaccard(base_graph, evolved)
+        assert 0.5 < similarity < 0.95
+
+    def test_zero_churn_zero_growth_is_identity(self, base_graph):
+        evolved = evolve_graph(base_graph, edge_churn=0.0, vertex_growth=0.0, seed=1)
+        assert edge_jaccard(base_graph, evolved) == pytest.approx(1.0)
+
+    def test_preferential_attachment_keeps_skew(self):
+        g = power_law_social(3000, avg_degree=10, seed=2)
+        evolved = g
+        for snap in snapshot_sequence(g, 3, edge_churn=0.1, seed=4):
+            evolved = snap
+        # Degree inequality should not collapse toward uniform.
+        assert gini(evolved.out_degrees()) > 0.5 * gini(g.out_degrees())
+
+    def test_deterministic(self, base_graph):
+        a = evolve_graph(base_graph, seed=5)
+        b = evolve_graph(base_graph, seed=5)
+        assert np.array_equal(a.indices, b.indices)
+
+    def test_validation(self, base_graph):
+        with pytest.raises(ValueError):
+            evolve_graph(base_graph, edge_churn=1.5)
+        with pytest.raises(ValueError):
+            evolve_graph(base_graph, new_vertex_degree=0)
+        with pytest.raises(ValueError):
+            list(snapshot_sequence(base_graph, -1))
+
+    def test_snapshot_sequence_length(self, base_graph):
+        snaps = list(snapshot_sequence(base_graph, 3, seed=1))
+        assert len(snaps) == 3
+        assert snaps[0].num_vertices <= snaps[-1].num_vertices
+
+    def test_edge_jaccard_bounds(self, base_graph):
+        assert edge_jaccard(base_graph, base_graph) == 1.0
+
+
+class TestIncrementalMaintenance:
+    @pytest.fixture(scope="class")
+    def artefact(self, base_graph):
+        return MicroPartitioner(num_micro_parts=64).build(base_graph, seed=1)
+
+    def test_old_vertices_keep_shards(self, base_graph, artefact):
+        evolved = evolve_graph(base_graph, seed=2)
+        updated = update_micro_partitioning(artefact, evolved)
+        n_old = base_graph.num_vertices
+        assert np.array_equal(
+            updated.micro.assignment[:n_old], artefact.micro.assignment
+        )
+
+    def test_new_vertices_assigned(self, base_graph, artefact):
+        evolved = evolve_graph(base_graph, vertex_growth=0.05, seed=2)
+        updated = update_micro_partitioning(artefact, evolved)
+        assert (updated.micro.assignment >= 0).all()
+        assert updated.micro.num_vertices == evolved.num_vertices
+
+    def test_quotient_rebuilt(self, base_graph, artefact):
+        evolved = evolve_graph(base_graph, seed=2)
+        updated = update_micro_partitioning(artefact, evolved)
+        assert updated.quotient.num_vertices == artefact.num_micro_parts
+        assert updated.source_graph_name == evolved.name
+
+    def test_quality_stays_near_fresh(self, base_graph, artefact):
+        current, maintained = base_graph, artefact
+        for snap in snapshot_sequence(base_graph, 3, seed=9):
+            maintained = update_micro_partitioning(maintained, snap)
+            current = snap
+        drift = staleness(maintained, current, 8, seed=1)
+        assert drift < 0.15  # within 15% absolute cut of re-partitioning
+
+    def test_clusterable_after_update(self, base_graph, artefact):
+        evolved = evolve_graph(base_graph, seed=2)
+        updated = update_micro_partitioning(artefact, evolved)
+        clustering = updated.cluster(8, seed=1)
+        assert 0.0 <= edge_cut_fraction(evolved, clustering) <= 1.0
+
+    def test_shrinking_snapshot_rejected(self, base_graph, artefact):
+        smaller = get_dataset("human-gene").generate(seed=1)
+        with pytest.raises(ValueError):
+            update_micro_partitioning(artefact, smaller)

@@ -1,0 +1,167 @@
+"""Tests for the expected-cost estimators (paper §5.2 / §5.3)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.cloud import default_catalog, on_demand_configs, transient_configs
+from repro.core import (
+    COLORING_PROFILE,
+    PAGERANK_PROFILE,
+    SSSP_PROFILE,
+    ApproximateCostEstimator,
+    DecisionBudgetExceeded,
+    ExactCostEstimator,
+    PerformanceModel,
+    SlackModel,
+    job_with_slack,
+    last_resort,
+)
+from repro.utils.units import HOURS
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return tuple(default_catalog())
+
+
+def make_slack_model(market, profile, slack_fraction, catalog):
+    lrc = last_resort(
+        catalog, lambda ref: PerformanceModel(profile=profile, reference=ref)
+    )
+    perf = PerformanceModel(profile=profile, reference=lrc)
+    job = job_with_slack(profile, 0.0, slack_fraction, perf.fixed_time(lrc))
+    return SlackModel(perf=perf, lrc=lrc, deadline=job.deadline)
+
+
+class TestApproximateEstimator:
+    def test_finished_work_costs_nothing(self, small_market, catalog):
+        sm = make_slack_model(small_market, PAGERANK_PROFILE, 0.5, catalog)
+        est = ApproximateCostEstimator(sm, small_market, catalog)
+        est.snapshot(0.0)
+        for config in catalog:
+            assert est.config_cost(config, 0.0, 0.0, 0.0, False) == 0.0
+
+    def test_lrc_cost_matches_closed_form(self, small_market, catalog):
+        sm = make_slack_model(small_market, PAGERANK_PROFILE, 0.5, catalog)
+        est = ApproximateCostEstimator(sm, small_market, catalog)
+        est.snapshot(0.0)
+        lrc = sm.lrc
+        cost = est.config_cost(lrc, 0.0, 1.0, 0.0, False)
+        runtime = (
+            sm.perf.setup_time(lrc) + sm.perf.exec_time(lrc) + sm.perf.save_time(lrc)
+        )
+        assert cost == pytest.approx(lrc.on_demand_rate * runtime / HOURS)
+
+    def test_best_returns_finite_decision(self, small_market, catalog):
+        sm = make_slack_model(small_market, COLORING_PROFILE, 0.5, catalog)
+        est = ApproximateCostEstimator(sm, small_market, catalog)
+        decision = est.best(0.0, 1.0)
+        assert math.isfinite(decision.expected_cost)
+        assert decision.config in catalog
+
+    def test_prefers_spot_with_ample_slack(self, small_market, catalog):
+        sm = make_slack_model(small_market, COLORING_PROFILE, 1.0, catalog)
+        est = ApproximateCostEstimator(sm, small_market, catalog)
+        decision = est.best(0.0, 1.0)
+        assert decision.config.is_transient
+
+    def test_falls_back_to_lrc_without_slack(self, small_market, catalog):
+        sm = make_slack_model(small_market, COLORING_PROFILE, 0.5, catalog)
+        est = ApproximateCostEstimator(sm, small_market, catalog)
+        # Burn almost the whole horizon with the work untouched.
+        t_late = sm.deadline - sm.lrc_fixed_time - sm.lrc_exec_time
+        decision = est.best(t_late, 1.0)
+        assert decision.config == sm.lrc
+
+    def test_infeasible_transient_is_infinite(self, small_market, catalog):
+        sm = make_slack_model(small_market, COLORING_PROFILE, 0.5, catalog)
+        est = ApproximateCostEstimator(sm, small_market, catalog)
+        est.snapshot(0.0)
+        t_late = sm.deadline - sm.lrc_fixed_time - sm.lrc_exec_time
+        for spot in transient_configs(catalog):
+            assert est.config_cost(spot, t_late, 1.0, 0.0, False) == math.inf
+
+    def test_cost_decreases_with_less_work(self, small_market, catalog):
+        sm = make_slack_model(small_market, COLORING_PROFILE, 0.5, catalog)
+        est = ApproximateCostEstimator(sm, small_market, catalog)
+        full = est.best(0.0, 1.0).expected_cost
+        half = est.best(0.0, 0.5).expected_cost
+        assert half < full
+
+    def test_memo_reused_across_decisions(self, small_market, catalog):
+        sm = make_slack_model(small_market, COLORING_PROFILE, 0.5, catalog)
+        est = ApproximateCostEstimator(sm, small_market, catalog, price_tolerance=1e9)
+        est.best(0.0, 1.0)
+        size_before = len(est._memo)
+        est.best(60.0, 1.0)
+        assert len(est._memo) >= size_before  # not cleared
+
+    def test_memo_cleared_on_price_drift(self, small_market, catalog):
+        sm = make_slack_model(small_market, COLORING_PROFILE, 0.5, catalog)
+        est = ApproximateCostEstimator(sm, small_market, catalog, price_tolerance=0.0)
+        est.best(0.0, 1.0)
+        spot = transient_configs(catalog)[0]
+        trace = small_market.traces[spot.instance_type.name]
+        # Find a time with a different price.
+        t_drift = None
+        for t in range(0, int(small_market.horizon), 3600):
+            if trace.price_at(t) != trace.price_at(0):
+                t_drift = float(t)
+                break
+        if t_drift is not None:
+            est.best(t_drift, 1.0)
+            # Memo was rebuilt for the new snapshot (cannot contain the
+            # stale root as the only entry): just assert it is usable.
+            assert est.best(t_drift, 1.0).config in catalog
+
+    def test_catalog_requires_on_demand(self, small_market, catalog):
+        sm = make_slack_model(small_market, SSSP_PROFILE, 0.5, catalog)
+        with pytest.raises(ValueError):
+            ApproximateCostEstimator(sm, small_market, transient_configs(catalog))
+
+    def test_decision_fast_enough(self, small_market, catalog):
+        import time
+
+        sm = make_slack_model(small_market, COLORING_PROFILE, 1.0, catalog)
+        est = ApproximateCostEstimator(sm, small_market, catalog)
+        t0 = time.perf_counter()
+        est.best(0.0, 1.0)
+        cold_ms = 1000 * (time.perf_counter() - t0)
+        assert cold_ms < 5000  # cold decision stays interactive even for GC
+
+
+class TestExactEstimator:
+    def test_agrees_with_approx_on_lrc(self, small_market, catalog):
+        sm = make_slack_model(small_market, SSSP_PROFILE, 0.3, catalog)
+        exact = ExactCostEstimator(sm, small_market, catalog, dt=30.0)
+        approx = ApproximateCostEstimator(sm, small_market, catalog)
+        exact.snapshot(0.0)
+        approx.snapshot(0.0)
+        lrc = sm.lrc
+        assert exact.config_cost(lrc, 0.0, 1.0, 0.0, False) == pytest.approx(
+            approx.config_cost(lrc, 0.0, 1.0, 0.0, False)
+        )
+
+    def test_sssp_decision_close_to_approx(self, small_market, catalog):
+        sm = make_slack_model(small_market, SSSP_PROFILE, 0.5, catalog)
+        exact = ExactCostEstimator(sm, small_market, catalog, dt=30.0, max_states=500_000)
+        approx = ApproximateCostEstimator(sm, small_market, catalog)
+        d_exact = exact.best(0.0, 1.0)
+        d_approx = approx.best(0.0, 1.0)
+        assert d_approx.expected_cost == pytest.approx(
+            d_exact.expected_cost, rel=0.35
+        )
+
+    def test_budget_exhaustion_raises(self, small_market, catalog):
+        sm = make_slack_model(small_market, COLORING_PROFILE, 1.0, catalog)
+        exact = ExactCostEstimator(sm, small_market, catalog, dt=5.0, max_states=2_000)
+        with pytest.raises(DecisionBudgetExceeded):
+            exact.best(0.0, 1.0)
+
+    def test_invalid_dt(self, small_market, catalog):
+        sm = make_slack_model(small_market, SSSP_PROFILE, 0.5, catalog)
+        with pytest.raises(ValueError):
+            ExactCostEstimator(sm, small_market, catalog, dt=0.0)

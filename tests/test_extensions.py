@@ -1,0 +1,182 @@
+"""Tests for extension modules: trace IO, new algorithms, accounting."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.cloud import (
+    R4_FAMILY,
+    generate_trace,
+    market_from_csv,
+    read_trace_csv,
+    write_trace_csv,
+)
+from repro.core import (
+    ExecutionSimulator,
+    HourglassProvisioner,
+    PAGERANK_PROFILE,
+    PerformanceModel,
+    breakdown,
+    format_breakdown,
+    job_with_slack,
+    last_resort,
+)
+from repro.cloud import default_catalog
+from repro.engine import PregelEngine
+from repro.engine.algorithms import (
+    LabelPropagation,
+    TriangleCount,
+    community_assignments,
+    modularity,
+    total_triangles,
+)
+from repro.graph import from_edges, generators
+from repro.partitioning import HashPartitioner
+from repro.utils.units import HOURS
+
+
+class TestTraceCsv:
+    def test_roundtrip(self, tmp_path):
+        trace = generate_trace(R4_FAMILY[0], duration=6 * HOURS, seed=4)
+        path = tmp_path / "trace.csv"
+        write_trace_csv(trace, path)
+        restored = read_trace_csv(path)
+        assert np.allclose(restored.times, trace.times, atol=1e-3)
+        assert np.allclose(restored.prices, trace.prices, atol=1e-6)
+
+    def test_unsorted_rows_sorted(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("timestamp,price\n100,2.0\n0,1.0\n50,3.0\n")
+        trace = read_trace_csv(path)
+        assert trace.times.tolist() == [0.0, 50.0, 100.0]
+        assert trace.price_at(60) == 3.0
+
+    def test_duplicate_timestamps_keep_last(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("timestamp,price\n0,1.0\n0,9.0\n10,2.0\n")
+        trace = read_trace_csv(path)
+        assert trace.price_at(0) == 9.0
+
+    def test_bad_header(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("time,cost\n0,1.0\n")
+        with pytest.raises(ValueError):
+            read_trace_csv(path)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("")
+        with pytest.raises(ValueError):
+            read_trace_csv(path)
+
+    def test_market_from_csv(self, tmp_path):
+        paths = {}
+        for itype in R4_FAMILY:
+            trace = generate_trace(itype, duration=12 * HOURS, seed=7)
+            path = tmp_path / f"{itype.name}.csv"
+            write_trace_csv(trace, path)
+            paths[itype.name] = path
+        market = market_from_csv(list(R4_FAMILY), paths)
+        assert market.spot_price(R4_FAMILY[0].name, 0.0) > 0
+        stats = market.stats_for(R4_FAMILY[0].name)
+        assert stats.mean_spot_price > 0
+
+    def test_market_from_csv_missing_trace(self, tmp_path):
+        with pytest.raises(ValueError):
+            market_from_csv(list(R4_FAMILY), {})
+
+
+class TestLabelPropagation:
+    def test_finds_planted_communities(self, community):
+        result = PregelEngine(
+            community, LabelPropagation(), HashPartitioner().partition(community, 4)
+        ).run()
+        q = modularity(community, result.values)
+        assert q > 0.3  # strong structure recovered
+
+    def test_two_cliques_two_labels(self):
+        g = generators.ring_of_cliques(2, 6)
+        result = PregelEngine(g, LabelPropagation()).run()
+        groups = community_assignments(result.values)
+        assert 1 <= len(groups) <= 3
+
+    def test_halts_within_cap(self, community):
+        result = PregelEngine(community, LabelPropagation(max_rounds=5)).run()
+        assert result.supersteps_run <= 8
+
+    def test_invalid_rounds(self):
+        with pytest.raises(ValueError):
+            LabelPropagation(max_rounds=0)
+
+    def test_modularity_of_random_labels_near_zero(self, community):
+        rng = np.random.default_rng(1)
+        labels = {v: int(rng.integers(0, 10)) for v in range(community.num_vertices)}
+        assert abs(modularity(community, labels)) < 0.05
+
+
+class TestTriangleCount:
+    def to_nx(self, graph):
+        nxg = nx.Graph()
+        nxg.add_nodes_from(range(graph.num_vertices))
+        nxg.add_edges_from(graph.iter_edges())
+        return nxg
+
+    def test_single_triangle(self):
+        g = from_edges([0, 1, 2, 1, 2, 0], [1, 2, 0, 0, 1, 2])
+        result = PregelEngine(g, TriangleCount()).run()
+        assert total_triangles(result) == 1
+
+    def test_matches_networkx(self):
+        g = generators.power_law_social(300, avg_degree=8, seed=6)
+        result = PregelEngine(
+            g, TriangleCount(), HashPartitioner().partition(g, 3)
+        ).run()
+        expected = sum(nx.triangles(self.to_nx(g)).values()) // 3
+        assert total_triangles(result) == expected
+
+    def test_triangle_free_graph(self):
+        g = generators.grid_graph(4, 4)
+        result = PregelEngine(g, TriangleCount()).run()
+        assert total_triangles(result) == 0
+
+    def test_clique_count(self):
+        g = generators.ring_of_cliques(1, 5)
+        result = PregelEngine(g, TriangleCount()).run()
+        assert total_triangles(result) == 10  # C(5,3)
+
+
+class TestAccounting:
+    def make_result(self, market):
+        catalog = tuple(default_catalog())
+        lrc = last_resort(
+            catalog,
+            lambda ref: PerformanceModel(profile=PAGERANK_PROFILE, reference=ref),
+        )
+        perf = PerformanceModel(profile=PAGERANK_PROFILE, reference=lrc)
+        sim = ExecutionSimulator(market, perf, catalog, HourglassProvisioner())
+        job = job_with_slack(PAGERANK_PROFILE, 0.0, 0.8, perf.fixed_time(lrc))
+        return sim.run(job)
+
+    def test_breakdown_sums_to_total(self, long_market):
+        result = self.make_result(long_market)
+        bd = breakdown(result)
+        total = bd.phases.productive + bd.phases.setup + bd.phases.doomed
+        assert total == pytest.approx(result.cost, rel=1e-6)
+        assert sum(bd.by_config.values()) == pytest.approx(result.cost, rel=1e-6)
+
+    def test_fractions(self, long_market):
+        bd = breakdown(self.make_result(long_market))
+        assert 0 <= bd.phases.fraction("productive") <= 1
+        assert bd.dominant_config() is not None
+
+    def test_requires_events(self, long_market):
+        result = self.make_result(long_market)
+        stripped = result.__class__(**{**result.__dict__, "events": ()})
+        with pytest.raises(ValueError):
+            breakdown(stripped)
+
+    def test_format(self, long_market):
+        text = format_breakdown(breakdown(self.make_result(long_market)))
+        assert "productive" in text and "total" in text

@@ -1,0 +1,189 @@
+"""Tests for edge-list IO and chunked binary graph storage."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    GraphChunk,
+    assemble_chunks,
+    from_edges,
+    read_edge_list,
+    split_into_chunks,
+    write_edge_list,
+)
+from repro.graph.generators import power_law_social, ring_of_cliques
+
+
+class TestEdgeListIO:
+    def test_roundtrip(self, tmp_path):
+        g = from_edges([0, 1, 2], [1, 2, 0])
+        path = tmp_path / "g.txt"
+        write_edge_list(g, path)
+        g2 = read_edge_list(path)
+        assert sorted(g.iter_edges()) == sorted(g2.iter_edges())
+
+    def test_weighted_roundtrip(self, tmp_path):
+        g = from_edges([0, 1], [1, 0], weights=[1.5, 2.5])
+        path = tmp_path / "g.txt"
+        write_edge_list(g, path)
+        g2 = read_edge_list(path)
+        assert g2.weights is not None
+        assert sorted(g2.weights.tolist()) == [1.5, 2.5]
+
+    def test_comments_and_blanks_skipped(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# header\n\n0 1\n1 2\n")
+        g = read_edge_list(path)
+        assert g.num_edges == 2
+
+    def test_bad_column_count(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1 2 3\n")
+        with pytest.raises(ValueError):
+            read_edge_list(path)
+
+    def test_inconsistent_weights(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n1 2 3.5\n")
+        with pytest.raises(ValueError):
+            read_edge_list(path)
+
+    def test_name_from_stem(self, tmp_path):
+        path = tmp_path / "mygraph.txt"
+        path.write_text("0 1\n")
+        assert read_edge_list(path).name == "mygraph"
+
+
+class TestChunking:
+    def test_split_covers_all_vertices(self):
+        g = ring_of_cliques(6, 5)
+        chunks = split_into_chunks(g, 4)
+        covered = sum(c.num_vertices for c in chunks)
+        assert covered == g.num_vertices
+        assert chunks[0].vertex_start == 0
+        assert chunks[-1].vertex_stop == g.num_vertices
+
+    def test_split_preserves_edges(self):
+        g = power_law_social(500, avg_degree=6, seed=1)
+        chunks = split_into_chunks(g, 7)
+        assert sum(c.num_edges for c in chunks) == g.num_edges
+
+    def test_roundtrip_assembly(self):
+        g = power_law_social(300, avg_degree=8, seed=2)
+        chunks = split_into_chunks(g, 5)
+        g2 = assemble_chunks(chunks)
+        assert np.array_equal(g.indptr, g2.indptr)
+        assert np.array_equal(g.indices, g2.indices)
+
+    def test_edge_balance(self):
+        g = power_law_social(2000, avg_degree=10, seed=3)
+        chunks = split_into_chunks(g, 8)
+        loads = [c.num_edges for c in chunks]
+        assert max(loads) <= 3 * g.num_edges / 8  # coarse balance
+
+    def test_more_chunks_than_vertices(self):
+        g = ring_of_cliques(1, 3)
+        chunks = split_into_chunks(g, 100)
+        assert len(chunks) <= g.num_vertices
+        assert assemble_chunks(chunks).num_edges == g.num_edges
+
+    def test_single_chunk(self):
+        g = ring_of_cliques(3, 3)
+        (chunk,) = split_into_chunks(g, 1)
+        assert chunk.num_vertices == g.num_vertices
+
+    def test_invalid_chunk_count(self):
+        g = ring_of_cliques(2, 3)
+        with pytest.raises(ValueError):
+            split_into_chunks(g, 0)
+
+    def test_assembly_detects_gaps(self):
+        g = ring_of_cliques(4, 4)
+        chunks = split_into_chunks(g, 4)
+        with pytest.raises(ValueError):
+            assemble_chunks(chunks[1:])  # missing the first chunk
+
+    def test_assembly_empty_rejected(self):
+        with pytest.raises(ValueError):
+            assemble_chunks([])
+
+
+class TestChunkSerialization:
+    def test_bytes_roundtrip(self):
+        g = power_law_social(200, avg_degree=6, seed=4)
+        for chunk in split_into_chunks(g, 3):
+            restored = GraphChunk.from_bytes(chunk.to_bytes())
+            assert restored.vertex_start == chunk.vertex_start
+            assert restored.vertex_stop == chunk.vertex_stop
+            assert np.array_equal(restored.indptr, chunk.indptr)
+            assert np.array_equal(restored.indices, chunk.indices)
+
+    def test_weighted_roundtrip(self):
+        g = from_edges([0, 1, 1], [1, 0, 2], weights=[1.0, 2.0, 3.0])
+        (chunk,) = split_into_chunks(g, 1)
+        restored = GraphChunk.from_bytes(chunk.to_bytes())
+        assert np.array_equal(restored.weights, chunk.weights)
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(ValueError):
+            GraphChunk.from_bytes(b"XXXX" + bytes(40))
+
+    def test_payload_bytes_close_to_serialized(self):
+        g = power_law_social(300, avg_degree=8, seed=5)
+        (chunk,) = split_into_chunks(g, 1)
+        estimate = chunk.payload_bytes()
+        actual = len(chunk.to_bytes())
+        assert abs(estimate - actual) / actual < 0.05
+
+
+class TestAdjacencyFormat:
+    def test_roundtrip(self, tmp_path):
+        from repro.graph import read_adjacency, write_adjacency
+        from repro.graph.generators import power_law_social
+
+        g = power_law_social(200, avg_degree=6, seed=9)
+        path = tmp_path / "g.adj"
+        write_adjacency(g, path)
+        g2 = read_adjacency(path)
+        assert g2.num_vertices == g.num_vertices
+        assert sorted(g.iter_edges()) == sorted(g2.iter_edges())
+
+    def test_weighted_roundtrip(self, tmp_path):
+        from repro.graph import from_edges, read_adjacency, write_adjacency
+
+        g = from_edges([0, 0, 1], [1, 2, 2], weights=[1.5, 2.0, 3.25])
+        path = tmp_path / "g.adj"
+        write_adjacency(g, path)
+        g2 = read_adjacency(path)
+        assert g2.weights is not None
+        assert sorted(g2.weights.tolist()) == [1.5, 2.0, 3.25]
+
+    def test_isolated_vertices_preserved(self, tmp_path):
+        from repro.graph import empty_graph, read_adjacency, write_adjacency
+
+        g = empty_graph(4)
+        path = tmp_path / "g.adj"
+        write_adjacency(g, path)
+        assert read_adjacency(path).num_vertices == 4
+
+    def test_mixed_weights_rejected(self, tmp_path):
+        from repro.graph import read_adjacency
+
+        path = tmp_path / "g.adj"
+        path.write_text("0 1 2:3.0\n")
+        import pytest
+
+        with pytest.raises(ValueError):
+            read_adjacency(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        from repro.graph import read_adjacency
+
+        path = tmp_path / "g.adj"
+        path.write_text("# nothing\n")
+        import pytest
+
+        with pytest.raises(ValueError):
+            read_adjacency(path)

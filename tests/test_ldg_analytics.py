@@ -1,0 +1,110 @@
+"""Tests for the LDG partitioner and trace/market analytics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cloud import (
+    R4_2XLARGE,
+    R4_FAMILY,
+    generate_trace,
+    market_report,
+    summarize_market,
+    summarize_trace,
+)
+from repro.cloud.trace import PriceTrace
+from repro.graph import generators
+from repro.partitioning import (
+    LdgPartitioner,
+    RandomPartitioner,
+    edge_cut_fraction,
+    vertex_balance,
+)
+from repro.utils.units import HOURS
+
+
+class TestLdgPartitioner:
+    def test_all_assigned(self, community):
+        p = LdgPartitioner().partition(community, 8, seed=1)
+        assert (p.assignment >= 0).all()
+        assert p.part_sizes().sum() == community.num_vertices
+
+    def test_capacity_respected(self, community):
+        ldg = LdgPartitioner(balance_slack=1.1)
+        p = ldg.partition(community, 8, seed=1)
+        assert vertex_balance(p) <= 1.1 + 1e-6
+
+    def test_beats_random_on_clustered_graph(self, community):
+        ldg = LdgPartitioner().partition(community, 8, seed=1)
+        rnd = RandomPartitioner().partition(community, 8, seed=1)
+        assert edge_cut_fraction(community, ldg) < edge_cut_fraction(community, rnd)
+
+    def test_deterministic(self, community):
+        a = LdgPartitioner().partition(community, 4, seed=7)
+        b = LdgPartitioner().partition(community, 4, seed=7)
+        assert np.array_equal(a.assignment, b.assignment)
+
+    def test_stream_orders(self, community):
+        for order in ("natural", "random", "bfs"):
+            p = LdgPartitioner(stream_order=order).partition(community, 4, seed=1)
+            assert p.num_parts == 4
+
+    def test_single_part(self):
+        g = generators.path_graph(10)
+        p = LdgPartitioner().partition(g, 1)
+        assert (p.assignment == 0).all()
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            LdgPartitioner(balance_slack=0.5)
+        with pytest.raises(ValueError):
+            LdgPartitioner(stream_order="spiral")
+
+    def test_usable_as_micro_base(self, community):
+        from repro.partitioning import MicroPartitioner
+
+        artefact = MicroPartitioner(base=LdgPartitioner(), num_micro_parts=32).build(
+            community, seed=2
+        )
+        clustering = artefact.cluster(4, seed=2)
+        assert clustering.num_parts == 4
+
+
+class TestTraceAnalytics:
+    @pytest.fixture(scope="class")
+    def summary(self):
+        trace = generate_trace(R4_2XLARGE, duration=20 * 24 * HOURS, seed=11)
+        return summarize_trace(trace, R4_2XLARGE)
+
+    def test_discount_in_calibrated_band(self, summary):
+        # The generator targets ~70-80% discounts overall.
+        assert 0.5 < summary.mean_discount < 0.95
+
+    def test_spike_rate_matches_interval(self, summary):
+        # mean_spike_interval = 3.2h -> ~7.5 spikes/day expected.
+        assert 3.0 < summary.spike_rate_per_day < 12.0
+
+    def test_spike_duration_near_target(self, summary):
+        # mean_spike_duration = 10 min.
+        assert 3.0 < summary.mean_spike_minutes < 30.0
+
+    def test_uptime_quantiles_ordered(self, summary):
+        assert 0 < summary.uptime_p50_hours <= summary.uptime_p90_hours
+
+    def test_flat_trace_no_spikes(self):
+        trace = PriceTrace(
+            times=np.arange(5) * 3600.0,
+            prices=np.full(5, 0.1),
+            instance_name="r4.2xlarge",
+        )
+        summary = summarize_trace(trace, R4_2XLARGE)
+        assert summary.spike_rate_per_day == 0.0
+        assert summary.mean_spike_minutes == 0.0
+
+    def test_market_summaries(self, small_market):
+        rows = summarize_market(small_market)
+        assert {s.instance_name for s in rows} == {t.name for t in R4_FAMILY}
+        report = market_report(small_market)
+        assert "Spot market characterisation" in report
+        assert "r4.8xlarge" in report

@@ -1,0 +1,123 @@
+"""Tests for the eviction-warning extension (paper §9)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cloud import default_catalog
+from repro.core import (
+    COLORING_PROFILE,
+    EC2_TWO_MINUTE_WARNING,
+    NO_WARNING,
+    ApproximateCostEstimator,
+    ExecutionSimulator,
+    HourglassProvisioner,
+    PerformanceModel,
+    SlackModel,
+    SpotOnProvisioner,
+    WarningPolicy,
+    job_with_slack,
+    last_resort,
+    salvageable_progress,
+)
+from repro.utils.units import HOURS
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return tuple(default_catalog())
+
+
+class TestWarningPolicy:
+    def test_disabled_by_default(self):
+        assert not NO_WARNING.enabled
+        assert not NO_WARNING.can_save(0.1)
+
+    def test_two_minute_notice(self):
+        assert EC2_TWO_MINUTE_WARNING.enabled
+        assert EC2_TWO_MINUTE_WARNING.can_save(30.0)
+        assert not EC2_TWO_MINUTE_WARNING.can_save(121.0)
+
+    def test_negative_lead_rejected(self):
+        with pytest.raises(ValueError):
+            WarningPolicy(lead_seconds=-1)
+
+
+class TestSalvageableProgress:
+    def test_no_warning_saves_nothing(self):
+        assert salvageable_progress(NO_WARNING, 1000, 100, 3600, 10) == 0.0
+
+    def test_short_lead_saves_nothing(self):
+        policy = WarningPolicy(lead_seconds=5)
+        assert salvageable_progress(policy, 1000, 100, 3600, 10) == 0.0
+
+    def test_progress_up_to_warning(self):
+        policy = WarningPolicy(lead_seconds=120)
+        # Eviction at 1000s; warning at 880s; compute started at 100s.
+        progress = salvageable_progress(policy, 1000, 100, exec_time=3600, save_time=30)
+        assert progress == pytest.approx(780 / 3600)
+
+    def test_eviction_during_setup_saves_nothing(self):
+        policy = WarningPolicy(lead_seconds=120)
+        assert salvageable_progress(policy, 150, 100, 3600, 30) == 0.0
+
+
+class TestWarningInSimulation:
+    def _run(self, market, catalog, warning, provisioner_factory, n=8, seed=3):
+        profile = COLORING_PROFILE
+        lrc = last_resort(
+            catalog, lambda ref: PerformanceModel(profile=profile, reference=ref)
+        )
+        perf = PerformanceModel(profile=profile, reference=lrc)
+        sim = ExecutionSimulator(
+            market, perf, catalog, provisioner_factory(), record_events=False,
+            warning=warning,
+        )
+        rng = np.random.default_rng(seed)
+        costs, evictions, missed = [], 0, 0
+        for _ in range(n):
+            start = float(rng.uniform(0, market.horizon - 60 * HOURS))
+            job = job_with_slack(profile, start, 0.4, perf.fixed_time(lrc))
+            r = sim.run(job)
+            costs.append(r.cost)
+            evictions += r.evictions
+            missed += r.missed_deadline
+        return float(np.mean(costs)), evictions, missed
+
+    def test_warning_never_hurts_costs(self, long_market, catalog):
+        base_cost, base_ev, _ = self._run(
+            long_market, catalog, NO_WARNING, SpotOnProvisioner
+        )
+        warn_cost, warn_ev, _ = self._run(
+            long_market, catalog, EC2_TWO_MINUTE_WARNING, SpotOnProvisioner
+        )
+        if base_ev > 0:
+            assert warn_cost <= base_cost * 1.02
+
+    def test_hourglass_with_warning_still_meets_deadlines(self, long_market, catalog):
+        _, _, missed = self._run(
+            long_market,
+            catalog,
+            EC2_TWO_MINUTE_WARNING,
+            lambda: HourglassProvisioner(warning=EC2_TWO_MINUTE_WARNING),
+        )
+        assert missed == 0
+
+
+class TestWarningInExpectedCost:
+    def test_warning_lowers_transient_cost(self, small_market, catalog):
+        profile = COLORING_PROFILE
+        lrc = last_resort(
+            catalog, lambda ref: PerformanceModel(profile=profile, reference=ref)
+        )
+        perf = PerformanceModel(profile=profile, reference=lrc)
+        job = job_with_slack(profile, 0.0, 0.5, perf.fixed_time(lrc))
+        sm = SlackModel(perf=perf, lrc=lrc, deadline=job.deadline)
+        plain = ApproximateCostEstimator(sm, small_market, catalog)
+        warned = ApproximateCostEstimator(
+            sm, small_market, catalog, warning=WarningPolicy(lead_seconds=300)
+        )
+        d_plain = plain.best(0.0, 1.0)
+        d_warned = warned.best(0.0, 1.0)
+        assert d_warned.expected_cost <= d_plain.expected_cost + 1e-9
