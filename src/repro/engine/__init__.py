@@ -30,7 +30,7 @@ from repro.engine.messages import (
     MinCombiner,
     SumCombiner,
 )
-from repro.engine.vertex import ComputeContext, VertexProgram
+from repro.engine.vertex import ComputeContext, DenseComputeContext, VertexProgram
 from repro.engine.worker import Worker, build_workers
 
 __all__ = [
@@ -42,6 +42,7 @@ __all__ = [
     "Combiner",
     "ComputeContext",
     "DataStore",
+    "DenseComputeContext",
     "estimate_execution_time",
     "fit_sync_penalty",
     "ExecutionResult",

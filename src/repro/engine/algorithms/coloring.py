@@ -21,6 +21,8 @@ since colouring constraints are undirected.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.engine.aggregators import SumAggregator
 from repro.engine.messages import MaxCombiner
 from repro.engine.vertex import ComputeContext, VertexProgram
@@ -53,6 +55,9 @@ class GraphColoring(VertexProgram):
 
     combiner = MaxCombiner
     message_bytes = 16  # (priority, vertex id)
+    # Colours are small ints; messages are (priority, id) tuples, so the
+    # program runs the scalar path over a typed value array.
+    value_dtype = np.int64
 
     def __init__(self, seed: int = 0):
         self.seed = int(seed)
@@ -64,6 +69,10 @@ class GraphColoring(VertexProgram):
     def initial_value(self, vertex_id: int, num_vertices: int) -> int:
         """Value of *vertex_id* before superstep 0."""
         return UNCOLOURED
+
+    def initial_values(self, num_vertices: int) -> np.ndarray:
+        """Whole initial value array at once."""
+        return np.full(num_vertices, UNCOLOURED, dtype=np.int64)
 
     def compute(self, ctx: ComputeContext, messages: list) -> None:
         """One superstep for the bound vertex (see class docstring)."""

@@ -11,6 +11,8 @@ Run on the symmetrised graph.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.engine.aggregators import SumAggregator
 from repro.engine.messages import SumCombiner
 from repro.engine.vertex import ComputeContext, VertexProgram
@@ -25,6 +27,7 @@ class KCore(VertexProgram):
 
     combiner = SumCombiner
     message_bytes = 8
+    value_dtype = np.bool_
 
     def __init__(self, k: int):
         if k < 1:
@@ -38,6 +41,10 @@ class KCore(VertexProgram):
     def initial_value(self, vertex_id: int, num_vertices: int) -> bool:
         """Value of *vertex_id* before superstep 0."""
         return True
+
+    def initial_values(self, num_vertices: int) -> np.ndarray:
+        """Whole initial value array at once."""
+        return np.ones(num_vertices, dtype=np.bool_)
 
     def compute(self, ctx: ComputeContext, messages: list) -> None:
         """One superstep for the bound vertex (see class docstring)."""

@@ -2,9 +2,11 @@
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.engine.aggregators import SumAggregator
 from repro.engine.messages import SumCombiner
-from repro.engine.vertex import ComputeContext, VertexProgram
+from repro.engine.vertex import ComputeContext, DenseComputeContext, VertexProgram
 
 
 class PageRank(VertexProgram):
@@ -21,6 +23,8 @@ class PageRank(VertexProgram):
 
     combiner = SumCombiner
     message_bytes = 8
+    value_dtype = np.float64
+    supports_dense = True
 
     def __init__(self, iterations: int = 30, damping: float = 0.85):
         if iterations < 1:
@@ -38,6 +42,10 @@ class PageRank(VertexProgram):
         """Value of *vertex_id* before superstep 0."""
         return 1.0 / num_vertices
 
+    def initial_values(self, num_vertices: int) -> np.ndarray:
+        """Whole initial value array at once."""
+        return np.full(num_vertices, 1.0 / num_vertices, dtype=np.float64)
+
     def compute(self, ctx: ComputeContext, messages: list) -> None:
         """One superstep for the bound vertex (see class docstring)."""
         if ctx.superstep > 0:
@@ -49,3 +57,21 @@ class PageRank(VertexProgram):
                 ctx.send_to_neighbors(ctx.value / ctx.out_degree)
         else:
             ctx.vote_to_halt()
+
+    def compute_dense(self, ctx: DenseComputeContext) -> None:
+        """One batched superstep over all active vertices."""
+        values = ctx.values
+        active = ctx.active
+        if ctx.superstep > 0:
+            incoming = np.where(ctx.has_message, ctx.messages, 0.0)
+            values[active] = (
+                (1.0 - self.damping) / ctx.num_vertices
+                + self.damping * incoming[active]
+            )
+        ctx.aggregate("rank_sum", float(values[active].sum()))
+        if ctx.superstep < self.iterations:
+            degrees = ctx.out_degrees()
+            senders = active & (degrees > 0)
+            ctx.send_to_all_neighbors(senders, values / np.maximum(degrees, 1))
+        else:
+            ctx.vote_to_halt(active)

@@ -4,8 +4,10 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
+
 from repro.engine.messages import MinCombiner
-from repro.engine.vertex import ComputeContext, VertexProgram
+from repro.engine.vertex import ComputeContext, DenseComputeContext, VertexProgram
 
 
 class SSSP(VertexProgram):
@@ -23,6 +25,8 @@ class SSSP(VertexProgram):
 
     combiner = MinCombiner
     message_bytes = 8
+    value_dtype = np.float64
+    supports_dense = True
 
     def __init__(self, source: int = 0):
         if source < 0:
@@ -32,6 +36,13 @@ class SSSP(VertexProgram):
     def initial_value(self, vertex_id: int, num_vertices: int) -> float:
         """Value of *vertex_id* before superstep 0."""
         return 0.0 if vertex_id == self.source else math.inf
+
+    def initial_values(self, num_vertices: int) -> np.ndarray:
+        """Whole initial value array at once."""
+        values = np.full(num_vertices, np.inf, dtype=np.float64)
+        if self.source < num_vertices:
+            values[self.source] = 0.0
+        return values
 
     def compute(self, ctx: ComputeContext, messages: list) -> None:
         """One superstep for the bound vertex (see class docstring)."""
@@ -46,3 +57,25 @@ class SSSP(VertexProgram):
             for dst, weight in zip(ctx.out_edges, ctx.out_weights):
                 ctx.send(int(dst), dist + float(weight))
         ctx.vote_to_halt()
+
+    def compute_dense(self, ctx: DenseComputeContext) -> None:
+        """One batched superstep over all active vertices."""
+        values = ctx.values
+        best = np.where(ctx.has_message, ctx.messages, np.inf)
+        improved = ctx.active & (best < values)
+        values[improved] = best[improved]
+        senders = improved
+        if ctx.superstep == 0 and self.source < ctx.num_vertices:
+            # The source relaxes its edges even though 0.0 < 0.0 is false.
+            senders = improved.copy()
+            senders[self.source] = True
+        edge_keep = senders[ctx.edge_sources]
+        if edge_keep.any():
+            src = ctx.edge_sources[edge_keep]
+            dst = ctx.graph.indices[edge_keep]
+            if ctx.graph.weights is not None:
+                weights = ctx.graph.weights[edge_keep]
+            else:
+                weights = 1.0
+            ctx.send_batch(src, dst, values[src] + weights)
+        ctx.vote_to_halt(ctx.active)

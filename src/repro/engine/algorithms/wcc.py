@@ -2,8 +2,10 @@
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.engine.messages import MinCombiner
-from repro.engine.vertex import ComputeContext, VertexProgram
+from repro.engine.vertex import ComputeContext, DenseComputeContext, VertexProgram
 
 
 class ConnectedComponents(VertexProgram):
@@ -15,10 +17,16 @@ class ConnectedComponents(VertexProgram):
 
     combiner = MinCombiner
     message_bytes = 8
+    value_dtype = np.int64
+    supports_dense = True
 
     def initial_value(self, vertex_id: int, num_vertices: int) -> int:
         """Value of *vertex_id* before superstep 0."""
         return vertex_id
+
+    def initial_values(self, num_vertices: int) -> np.ndarray:
+        """Whole initial value array at once."""
+        return np.arange(num_vertices, dtype=np.int64)
 
     def compute(self, ctx: ComputeContext, messages: list) -> None:
         """One superstep for the bound vertex (see class docstring)."""
@@ -31,6 +39,19 @@ class ConnectedComponents(VertexProgram):
             ctx.value = candidate
             ctx.send_to_neighbors(candidate)
         ctx.vote_to_halt()
+
+    def compute_dense(self, ctx: DenseComputeContext) -> None:
+        """One batched superstep over all active vertices."""
+        values = ctx.values
+        if ctx.superstep == 0:
+            # Every vertex's label starts as its own id; broadcast it.
+            ctx.send_to_all_neighbors(ctx.active, values)
+        else:
+            candidate = np.where(ctx.has_message, ctx.messages, np.inf)
+            improved = ctx.active & (candidate < values)
+            values[improved] = candidate[improved]
+            ctx.send_to_all_neighbors(improved, values)
+        ctx.vote_to_halt(ctx.active)
 
 
 def component_sizes(values: dict) -> dict:

@@ -9,11 +9,14 @@ halted flags, pending messages and aggregator state.
 
 from __future__ import annotations
 
-import pickle
 from dataclasses import dataclass
 
 from repro.engine.datastore import DataStore
 from repro.engine.engine import PregelEngine
+
+#: Current checkpoint payload format: the engine's dense state arrays
+#: (values, halted, pending-message arrays, stats) pickled directly.
+CHECKPOINT_FORMAT = 2
 
 
 @dataclass(frozen=True)
@@ -53,14 +56,14 @@ class CheckpointManager:
         state in parallel (affects the simulated write time only).
         """
         state = engine.capture_state()
-        payload = pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
         key = self._key(engine.superstep)
-        self.datastore.put(key, payload)
-        write_time = self.datastore.transfer_time(len(payload), num_writers)
+        self.datastore.put_object(key, state)
+        nbytes = self.datastore.size_of(key)
+        write_time = self.datastore.transfer_time(nbytes, num_writers)
         info = CheckpointInfo(
             key=key,
             superstep=engine.superstep,
-            nbytes=len(payload),
+            nbytes=nbytes,
             simulated_write_seconds=write_time,
         )
         self._history.append(info)
@@ -82,8 +85,8 @@ class CheckpointManager:
             info = self.latest()
         if info is None:
             raise LookupError(f"no checkpoints stored for job {self.job_id!r}")
-        payload, read_time = self.datastore.get_timed(info.key)
-        engine.restore_state(pickle.loads(payload))
+        state, read_time = self.datastore.get_object_timed(info.key)
+        engine.restore_state(state)
         return read_time
 
     def history(self) -> list[CheckpointInfo]:

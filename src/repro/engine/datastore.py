@@ -13,6 +13,7 @@ sleeps.  Wall-clock cost is just the in-memory copy.
 
 from __future__ import annotations
 
+import pickle
 from dataclasses import dataclass, field
 
 from repro.utils.units import MiB
@@ -88,6 +89,24 @@ class DataStore:
     def size_of(self, key: str) -> int:
         """Stored size of *key* in bytes."""
         return len(self._objects[key])
+
+    # ------------------------------------------------------------------
+    # Structured payloads (checkpoints and similar array-heavy state)
+    # ------------------------------------------------------------------
+    def put_object(self, key: str, obj) -> float:
+        """Serialize and store *obj*; returns the simulated write time.
+
+        Uses the highest pickle protocol, which writes numpy arrays as
+        raw buffers — checkpoint state arrays go to the store directly
+        instead of being exploded into per-vertex containers.
+        """
+        self.put(key, pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
+        return self.transfer_time(len(self._objects[key]))
+
+    def get_object_timed(self, key: str) -> tuple[object, float]:
+        """Fetch and deserialize an object plus its simulated read time."""
+        payload, read_time = self.get_timed(key)
+        return pickle.loads(payload), read_time
 
     # ------------------------------------------------------------------
     # Timing model

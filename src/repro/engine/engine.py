@@ -7,6 +7,14 @@ their destination worker, and delivered at the next barrier; aggregators
 are reduced at the barrier and broadcast to the next superstep, exactly
 following the Pregel/Giraph model the paper runs on.
 
+Vertex values and halted flags live in dense numpy arrays indexed by
+global vertex id (shared with the workers).  The superstep loop computes
+the active set, the local/remote traffic split and the global halt
+condition from those arrays; programs that implement ``compute_dense``
+run one batched array call per superstep instead of a per-vertex Python
+loop, which is what makes long runs (PageRank over tens of thousands of
+vertices for Figs 5-7) cheap.
+
 The engine tracks per-superstep statistics — active vertices, local vs
 remote messages, estimated network bytes — which is how partition
 quality translates into simulated execution time (cut edges ⇒ remote
@@ -15,13 +23,13 @@ messages ⇒ network cost).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.engine.messages import MessageStore
-from repro.engine.vertex import ComputeContext, VertexProgram
-from repro.engine.worker import Worker, build_workers
+from repro.engine.vertex import ComputeContext, DenseComputeContext, VertexProgram
+from repro.engine.worker import Worker, build_workers, value_dtype_of
 from repro.graph.graph import Graph
 from repro.partitioning.base import Partitioning
 
@@ -65,8 +73,23 @@ class ExecutionResult:
         return sum(s.remote_messages for s in self.stats)
 
     def values_array(self, dtype=np.float64) -> np.ndarray:
-        """Vertex values as a dense array indexed by vertex id."""
-        arr = np.empty(len(self.values), dtype=dtype)
+        """Vertex values as a dense array indexed by vertex id.
+
+        Requires a dense id space ``0..max(id)``; sparse or negative ids
+        raise ``ValueError`` instead of silently writing out of range.
+        """
+        if not self.values:
+            return np.empty(0, dtype=dtype)
+        ids = np.fromiter(self.values.keys(), dtype=np.int64, count=len(self.values))
+        if ids.min() < 0:
+            raise ValueError("vertex ids must be non-negative")
+        size = int(ids.max()) + 1
+        if size != len(self.values):
+            raise ValueError(
+                f"vertex ids are not dense: {len(self.values)} values but ids "
+                f"span 0..{size - 1}"
+            )
+        arr = np.empty(size, dtype=dtype)
         for vid, val in self.values.items():
             arr[vid] = val
         return arr
@@ -107,10 +130,43 @@ class PregelEngine:
         self._owner = partitioning.assignment  # vertex -> worker
         self.superstep = 0
         self.stats: list[SuperstepStats] = []
-        self._incoming = MessageStore(program.combiner)
+        n = graph.num_vertices
+        self._incoming = MessageStore(program.combiner, num_vertices=n)
         self._prev_aggregates: dict = {}
+        self._edge_src: np.ndarray | None = None  # lazy np.repeat over CSR
+        self._values = np.empty(n, dtype=value_dtype_of(program))
+        self._halted = np.zeros(n, dtype=bool)
+        self._init_state()
         for worker in self.workers:
-            worker.initialize(program, graph.num_vertices)
+            worker.attach(self._values, self._halted)
+
+    def _init_state(self) -> None:
+        program, n = self.program, self.graph.num_vertices
+        init = program.initial_values(n)
+        if init is not None:
+            init = np.asarray(init)
+            if init.shape != (n,):
+                raise ValueError(
+                    f"initial_values returned shape {init.shape}, expected ({n},)"
+                )
+            self._values[...] = init
+        else:
+            values = self._values
+            for v in range(n):
+                values[v] = program.initial_value(v, n)
+        # All vertices start active unless the program opts some out.
+        if type(program).is_active_initially is not VertexProgram.is_active_initially:
+            halted = self._halted
+            for v in range(n):
+                halted[v] = not program.is_active_initially(v)
+
+    def _edge_sources(self) -> np.ndarray:
+        if self._edge_src is None:
+            self._edge_src = np.repeat(
+                np.arange(self.graph.num_vertices, dtype=np.int64),
+                np.diff(self.graph.indptr),
+            )
+        return self._edge_src
 
     # ------------------------------------------------------------------
     # Execution
@@ -127,45 +183,55 @@ class PregelEngine:
 
     def step(self) -> bool:
         """Execute one superstep; returns True while work remains."""
+        if self.program.supports_dense:
+            return self._step_dense()
+        return self._step_scalar()
+
+    def _step_scalar(self) -> bool:
+        """Per-vertex compute path (arbitrary value/message types)."""
         program = self.program
         graph = self.graph
         owner = self._owner
+        n = graph.num_vertices
+        values = self._values
+        halted = self._halted
         incoming = self._incoming
-        outgoing = MessageStore(program.combiner)
+        outgoing = MessageStore(program.combiner, num_vertices=n)
         aggregators = {name: factory() for name, factory in program.aggregators().items()}
 
         ctx = ComputeContext()
         ctx.superstep = self.superstep
-        ctx.num_vertices = graph.num_vertices
+        ctx.num_vertices = n
         ctx._aggregators = aggregators
         ctx._prev_aggregates = self._prev_aggregates
 
-        incoming_dsts = set(incoming.destinations())
+        inc_mask = incoming.destination_mask(n)
+        runnable = ~halted | inc_mask
         active = 0
-        sent = local = remote = remote_combined = 0
+        sent = local = remote = 0
+        combiner = program.combiner
 
         for worker in self.workers:
             # Sender-side combining: one buffered slot per destination.
             send_buffer: dict[int, list] = {}
             wid = worker.worker_id
-            for v in worker.vertices:
-                v = int(v)
-                has_messages = v in incoming_dsts
-                if worker.halted[v] and not has_messages:
-                    continue
-                worker.halted[v] = False
+            own = worker.vertices
+            run_ids = own[runnable[own]]
+            for v, has_messages in zip(
+                run_ids.tolist(), inc_mask[run_ids].tolist()
+            ):
+                halted[v] = False
                 active += 1
                 ctx.vertex_id = v
-                ctx.value = worker.values[v]
+                ctx.value = values[v]
                 ctx._out_edges = graph.neighbors(v)
                 ctx._out_weights = graph.edge_weights(v)
                 ctx._outbox = []
                 ctx._halted = False
                 program.compute(ctx, incoming.messages_for(v) if has_messages else [])
-                worker.values[v] = ctx.value
-                worker.halted[v] = ctx._halted
+                values[v] = ctx.value
+                halted[v] = ctx._halted
                 sent += len(ctx._outbox)
-                combiner = program.combiner
                 for dst, msg in ctx._outbox:
                     slot = send_buffer.get(dst)
                     if slot is None:
@@ -180,12 +246,68 @@ class PregelEngine:
                 for msg in msgs:
                     outgoing.deliver(dst, msg)
                     if is_remote:
-                        remote_combined += 1
+                        remote += 1
                     else:
                         local += 1
             del send_buffer
 
-        remote = remote_combined
+        self._finish_superstep(aggregators, outgoing, active, sent, local, remote)
+        return bool(outgoing) or not bool(self._halted.all())
+
+    def _step_dense(self) -> bool:
+        """Batched array compute path (numeric values and messages)."""
+        program = self.program
+        graph = self.graph
+        n = graph.num_vertices
+        incoming = self._incoming
+        inc_vals, inc_mask = incoming.dense_view(n)
+        active_mask = ~self._halted | inc_mask
+        aggregators = {name: factory() for name, factory in program.aggregators().items()}
+
+        ctx = DenseComputeContext(
+            superstep=self.superstep,
+            graph=graph,
+            values=self._values,
+            active=active_mask,
+            messages=inc_vals,
+            has_message=inc_mask,
+            edge_src=self._edge_sources(),
+            aggregators=aggregators,
+            prev_aggregates=self._prev_aggregates,
+        )
+        program.compute_dense(ctx)
+
+        # Every vertex that ran is active next superstep unless it voted.
+        self._halted[active_mask] = False
+        self._halted |= ctx._halt_mask
+
+        outgoing = MessageStore(program.combiner, num_vertices=n)
+        sent = local = remote = 0
+        if ctx._sends:
+            if len(ctx._sends) == 1:
+                src, dst, msg = ctx._sends[0]
+            else:
+                src = np.concatenate([s for s, _, _ in ctx._sends])
+                dst = np.concatenate([d for _, d, _ in ctx._sends])
+                msg = np.concatenate([m for _, _, m in ctx._sends])
+            sent = len(dst)
+            outgoing.deliver_many(dst, msg)
+            # Traffic accounting after sender-side combining: one network
+            # message per distinct (source worker, destination) pair.
+            slot_key = self._owner[src] * np.int64(n) + dst
+            slots = np.unique(slot_key)
+            slot_worker = slots // n
+            slot_dst = slots % n
+            remote = int(np.count_nonzero(self._owner[slot_dst] != slot_worker))
+            local = len(slots) - remote
+
+        active = int(np.count_nonzero(active_mask))
+        self._finish_superstep(aggregators, outgoing, active, sent, local, remote)
+        return bool(outgoing) or not bool(self._halted.all())
+
+    def _finish_superstep(
+        self, aggregators, outgoing, active, sent, local, remote
+    ) -> None:
         self.stats.append(
             SuperstepStats(
                 superstep=self.superstep,
@@ -193,25 +315,23 @@ class PregelEngine:
                 messages_sent=sent,
                 local_messages=local,
                 remote_messages=remote,
-                remote_bytes=remote * program.message_bytes,
+                remote_bytes=remote * self.program.message_bytes,
             )
         )
         self._prev_aggregates = {name: agg.value for name, agg in aggregators.items()}
         self._incoming = outgoing
         self.superstep += 1
-        return bool(outgoing) or any(
-            not halted for worker in self.workers for halted in worker.halted.values()
-        )
 
     # ------------------------------------------------------------------
     # Results and state
     # ------------------------------------------------------------------
+    def has_work(self) -> bool:
+        """Whether any message is pending or any vertex is still active."""
+        return bool(self._incoming) or not bool(self._halted.all())
+
     def values(self) -> dict:
         """Current vertex values keyed by global vertex id."""
-        merged: dict = {}
-        for worker in self.workers:
-            merged.update(worker.values)
-        return merged
+        return dict(enumerate(self._values.tolist()))
 
     def result(self, halted_normally: bool) -> ExecutionResult:
         """Snapshot the current outcome as an ExecutionResult."""
@@ -227,36 +347,71 @@ class PregelEngine:
     # Checkpoint hooks (see repro.engine.checkpoint)
     # ------------------------------------------------------------------
     def capture_state(self) -> dict:
-        """Snapshot of everything needed to resume this computation."""
+        """Snapshot of everything needed to resume this computation.
+
+        The state arrays are serialized directly (no per-vertex dicts);
+        per-superstep stats ride along so a restored engine reports the
+        same history as the one that wrote the checkpoint.
+        """
         return {
+            "format": 2,
             "superstep": self.superstep,
-            "workers": [w.state_snapshot() for w in self.workers],
-            "pending_messages": self._incoming.as_dict(),
+            "num_vertices": self.graph.num_vertices,
+            "values": self._values.copy(),
+            "halted": self._halted.copy(),
+            "pending_messages": self._incoming.state_dict(),
             "prev_aggregates": dict(self._prev_aggregates),
+            "stats": list(self.stats),
         }
 
     def restore_state(self, state: dict) -> None:
         """Resume from a :meth:`capture_state` snapshot.
 
         The worker layout may differ from the snapshot's (the whole point
-        of Hourglass reconfiguration): values/halted flags are re-scattered
-        to whichever worker now owns each vertex.
+        of Hourglass reconfiguration): state arrays are global, so the
+        new workers simply see the restored arrays through their own
+        vertex sets.  Also accepts the legacy per-worker dict format.
         """
-        values: dict = {}
-        halted: dict = {}
-        for snap in state["workers"]:
-            values.update(snap["values"])
-            halted.update(snap["halted"])
-        if len(values) != self.graph.num_vertices:
-            raise ValueError(
-                f"snapshot covers {len(values)} vertices, graph has "
-                f"{self.graph.num_vertices}"
+        n = self.graph.num_vertices
+        if "values" in state:
+            values = np.asarray(state["values"])
+            halted = np.asarray(state["halted"], dtype=bool)
+            if len(values) != n or len(halted) != n:
+                raise ValueError(
+                    f"snapshot covers {len(values)} vertices, graph has {n}"
+                )
+            self._values[...] = values
+            self._halted[...] = halted
+            self._incoming = MessageStore.from_state(
+                state["pending_messages"], self.program.combiner
             )
-        for worker in self.workers:
-            worker.values = {int(v): values[int(v)] for v in worker.vertices}
-            worker.halted = {int(v): halted[int(v)] for v in worker.vertices}
+        else:  # legacy: per-worker {vertex: value} dicts
+            merged_values: dict = {}
+            merged_halted: dict = {}
+            for snap in state["workers"]:
+                merged_values.update(snap["values"])
+                merged_halted.update(snap["halted"])
+            if len(merged_values) != n:
+                raise ValueError(
+                    f"snapshot covers {len(merged_values)} vertices, graph has {n}"
+                )
+            for v, value in merged_values.items():
+                self._values[int(v)] = value
+            for v, flag in merged_halted.items():
+                self._halted[int(v)] = bool(flag)
+            self._incoming = MessageStore.from_dict(
+                state["pending_messages"],
+                self.program.combiner,
+                num_vertices=n,
+            )
         self.superstep = int(state["superstep"])
-        self._incoming = MessageStore.from_dict(
-            state["pending_messages"], self.program.combiner
-        )
+        # Keep the superstep history consistent with the restored counter:
+        # a checkpoint at superstep s carries exactly s stats records.
+        if "stats" in state:
+            self.stats = [
+                s if isinstance(s, SuperstepStats) else SuperstepStats(*s)
+                for s in state["stats"]
+            ][: self.superstep]
+        else:
+            self.stats = self.stats[: self.superstep]
         self._prev_aggregates = dict(state["prev_aggregates"])

@@ -7,6 +7,13 @@ value, sends messages along out-edges, and may vote to halt.  The engine
 follows the classic Bulk Synchronous Parallel semantics: messages sent in
 superstep ``s`` are delivered in superstep ``s + 1``; the computation
 ends when every vertex has halted and no messages are in flight.
+
+Programs whose state is numeric can additionally implement
+:meth:`VertexProgram.compute_dense`, which receives a
+:class:`DenseComputeContext` covering *all* active vertices at once and
+operates on whole numpy arrays — the engine then skips the per-vertex
+Python loop entirely.  Semantics are identical: one call per superstep,
+messages land next superstep, un-halted vertices stay active.
 """
 
 from __future__ import annotations
@@ -90,16 +97,121 @@ class ComputeContext:
         return self._prev_aggregates.get(name)
 
 
+class DenseComputeContext:
+    """One superstep's whole-graph view for :meth:`~VertexProgram.compute_dense`.
+
+    All arrays are indexed by global vertex id.  The program mutates
+    :attr:`values` in place for the vertices it updates, emits batched
+    messages via :meth:`send_batch` / :meth:`send_to_all_neighbors`, and
+    deactivates vertices via :meth:`vote_to_halt`; every vertex in
+    :attr:`active` that does not vote stays active next superstep.
+    """
+
+    __slots__ = (
+        "superstep",
+        "num_vertices",
+        "graph",
+        "values",
+        "active",
+        "messages",
+        "has_message",
+        "_edge_src",
+        "_sends",
+        "_halt_mask",
+        "_aggregators",
+        "_prev_aggregates",
+    )
+
+    def __init__(
+        self,
+        *,
+        superstep: int,
+        graph,
+        values: np.ndarray,
+        active: np.ndarray,
+        messages: np.ndarray,
+        has_message: np.ndarray,
+        edge_src: np.ndarray,
+        aggregators: dict,
+        prev_aggregates: dict,
+    ):
+        self.superstep = superstep
+        self.num_vertices = graph.num_vertices
+        self.graph = graph
+        self.values = values
+        self.active = active
+        self.messages = messages
+        self.has_message = has_message
+        self._edge_src = edge_src
+        self._sends: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+        self._halt_mask = np.zeros(graph.num_vertices, dtype=bool)
+        self._aggregators = aggregators
+        self._prev_aggregates = prev_aggregates
+
+    # -- topology ------------------------------------------------------
+    @property
+    def edge_sources(self) -> np.ndarray:
+        """Source vertex of every CSR edge (parallel to ``graph.indices``)."""
+        return self._edge_src
+
+    def out_degrees(self) -> np.ndarray:
+        """Out-degree of every vertex."""
+        return np.diff(self.graph.indptr)
+
+    # -- messaging -----------------------------------------------------
+    def send_batch(self, src_ids, dst_ids, messages) -> None:
+        """Send ``messages[i]`` from ``src_ids[i]`` to ``dst_ids[i]``.
+
+        Sources are needed for the engine's local/remote traffic
+        accounting (sender-side combining happens per source worker).
+        """
+        src = np.asarray(src_ids, dtype=np.int64)
+        dst = np.asarray(dst_ids, dtype=np.int64)
+        msg = np.asarray(messages)
+        if not (src.shape == dst.shape == msg.shape):
+            raise ValueError("src, dst and messages must be parallel arrays")
+        if len(src):
+            self._sends.append((src, dst, msg))
+
+    def send_to_all_neighbors(self, src_mask: np.ndarray, message_per_vertex) -> None:
+        """Broadcast ``message_per_vertex[v]`` along every out-edge of each
+        vertex ``v`` selected by the boolean ``src_mask``."""
+        keep = np.asarray(src_mask, dtype=bool)[self._edge_src]
+        src = self._edge_src[keep]
+        self.send_batch(
+            src, self.graph.indices[keep], np.asarray(message_per_vertex)[src]
+        )
+
+    # -- halting -------------------------------------------------------
+    def vote_to_halt(self, who: np.ndarray) -> None:
+        """Deactivate the vertices selected by boolean mask or id array."""
+        self._halt_mask[who] = True
+
+    # -- aggregation ---------------------------------------------------
+    def aggregate(self, name: str, value) -> None:
+        """Contribute an already-reduced *value* to the named aggregator."""
+        self._aggregators[name].accumulate(value)
+
+    def aggregated(self, name: str):
+        """Read the named aggregator's value from the *previous* superstep."""
+        return self._prev_aggregates.get(name)
+
+
 class VertexProgram(abc.ABC):
     """A Pregel computation.
 
     Subclasses implement :meth:`initial_value` and :meth:`compute`;
-    optionally they declare a message :attr:`combiner` and a dict of
-    :attr:`aggregators` (name -> Aggregator factory).
+    optionally they declare a message :attr:`combiner`, a dict of
+    :attr:`aggregators` (name -> Aggregator factory), a numpy
+    :attr:`value_dtype` for dense state, vectorized initial values via
+    :meth:`initial_values`, and a batched :meth:`compute_dense`.
     """
 
     #: Optional message combiner class (see :mod:`repro.engine.messages`).
     combiner = None
+
+    #: Numpy dtype of the vertex value array (None -> ``object``).
+    value_dtype = None
 
     def aggregators(self) -> dict:
         """Aggregator factories, keyed by name (default: none)."""
@@ -109,6 +221,10 @@ class VertexProgram(abc.ABC):
     def initial_value(self, vertex_id: int, num_vertices: int):
         """Value of *vertex_id* before superstep 0."""
 
+    def initial_values(self, num_vertices: int) -> np.ndarray | None:
+        """Whole initial value array at once (None -> per-vertex calls)."""
+        return None
+
     @abc.abstractmethod
     def compute(self, ctx: ComputeContext, messages: list) -> None:
         """Run one superstep for the vertex bound to *ctx*.
@@ -117,6 +233,14 @@ class VertexProgram(abc.ABC):
         list at superstep 0 unless the program seeds messages).  Update
         ``ctx.value`` in place, call ``ctx.send``/``ctx.vote_to_halt``.
         """
+
+    #: Set when :meth:`compute_dense` is implemented; the engine then
+    #: runs the batched array path instead of per-vertex ``compute``.
+    supports_dense = False
+
+    def compute_dense(self, ctx: DenseComputeContext) -> None:
+        """Run one superstep for *all* active vertices at once."""
+        raise NotImplementedError
 
     def is_active_initially(self, vertex_id: int) -> bool:
         """Whether the vertex starts active (default: all do)."""

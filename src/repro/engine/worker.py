@@ -1,18 +1,27 @@
 """Worker abstraction of the simulated distributed deployment.
 
 A :class:`Worker` owns a set of vertices (one partition of the graph)
-and their state: values, halted flags and the per-superstep outbox.  The
-engine drives all workers in lock-step, mimicking Giraph's synchronous
-execution model; workers exist as real objects (rather than an index
+and a view of their state.  Vertex values and halted flags live in dense
+numpy arrays indexed by *global* vertex id; when workers are built by the
+engine they all share the engine's arrays (ownership is disjoint, so
+sharing is safe), which is what lets the superstep loop compute active
+sets and the halt condition with array operations instead of per-vertex
+dict scans.  Workers still exist as real objects (rather than an index
 space) so that checkpointing, loading and the per-worker traffic stats
 have an honest home.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
+
+
+def value_dtype_of(program) -> np.dtype:
+    """The numpy dtype a program's vertex values are stored as."""
+    dtype = getattr(program, "value_dtype", None)
+    return np.dtype(object) if dtype is None else np.dtype(dtype)
 
 
 @dataclass
@@ -22,44 +31,67 @@ class Worker:
     Attributes:
         worker_id: dense id in ``[0, num_workers)``.
         vertices: global vertex ids owned by this worker (sorted).
-        values: vertex values, keyed by global vertex id.
-        halted: halted flags, keyed by global vertex id.
+        values: dense value array indexed by global vertex id (this
+            worker only touches its own slots).
+        halted: dense boolean halted-flag array, same indexing.
     """
 
     worker_id: int
     vertices: np.ndarray
-    values: dict = field(default_factory=dict)
-    halted: dict = field(default_factory=dict)
+    values: np.ndarray | None = None
+    halted: np.ndarray | None = None
 
     @property
     def num_vertices(self) -> int:
         """Number of vertices."""
         return len(self.vertices)
 
-    def initialize(self, program, num_vertices_total: int) -> None:
-        """Populate values and halted flags from the vertex program."""
-        self.values = {
-            int(v): program.initial_value(int(v), num_vertices_total)
-            for v in self.vertices
-        }
-        self.halted = {
-            int(v): not program.is_active_initially(int(v)) for v in self.vertices
-        }
+    def attach(self, values: np.ndarray, halted: np.ndarray) -> None:
+        """Share the engine's global state arrays."""
+        self.values = values
+        self.halted = halted
+
+    def initialize(
+        self,
+        program,
+        num_vertices_total: int,
+        values: np.ndarray | None = None,
+        halted: np.ndarray | None = None,
+    ) -> None:
+        """Populate values and halted flags from the vertex program.
+
+        When ``values``/``halted`` are omitted (standalone use, e.g. in
+        tests) the worker allocates its own full-size arrays.
+        """
+        if values is None:
+            values = np.empty(num_vertices_total, dtype=value_dtype_of(program))
+        if halted is None:
+            halted = np.zeros(num_vertices_total, dtype=bool)
+        self.attach(values, halted)
+        for v in self.vertices.tolist():
+            values[v] = program.initial_value(v, num_vertices_total)
+            halted[v] = not program.is_active_initially(v)
 
     def active_count(self, incoming_destinations=frozenset()) -> int:
         """Vertices that will run this superstep (non-halted or woken)."""
-        return sum(
-            1
-            for v in self.vertices
-            if not self.halted[int(v)] or int(v) in incoming_destinations
-        )
+        own = self.vertices
+        runnable = ~self.halted[own]
+        if incoming_destinations:
+            woken = np.fromiter(
+                (int(v) in incoming_destinations for v in own),
+                dtype=bool,
+                count=len(own),
+            )
+            runnable |= woken
+        return int(np.count_nonzero(runnable))
 
     def state_snapshot(self) -> dict:
         """Checkpointable copy of this worker's mutable state."""
+        own = self.vertices.tolist()
         return {
             "worker_id": self.worker_id,
-            "values": dict(self.values),
-            "halted": dict(self.halted),
+            "values": {v: self.values[v] for v in own},
+            "halted": {v: bool(self.halted[v]) for v in own},
         }
 
     def restore_state(self, snapshot: dict) -> None:
@@ -68,8 +100,10 @@ class Worker:
             raise ValueError(
                 f"snapshot is for worker {snapshot['worker_id']}, not {self.worker_id}"
             )
-        self.values = dict(snapshot["values"])
-        self.halted = dict(snapshot["halted"])
+        for v, value in snapshot["values"].items():
+            self.values[int(v)] = value
+        for v, flag in snapshot["halted"].items():
+            self.halted[int(v)] = bool(flag)
 
 
 def build_workers(partitioning, num_workers: int) -> list[Worker]:

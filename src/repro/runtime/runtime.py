@@ -304,13 +304,7 @@ class HourglassRuntime:
     # ------------------------------------------------------------------
     @staticmethod
     def _has_work(engine: PregelEngine) -> bool:
-        if engine._incoming:
-            return True
-        return any(
-            not halted
-            for worker in engine.workers
-            for halted in worker.halted.values()
-        )
+        return engine.has_work()
 
     def _step_seconds(self, engine: PregelEngine, config: Configuration) -> float:
         """Predicted cost of the *next* superstep on *config*.

@@ -268,3 +268,137 @@ class TestAggregatorFlow:
         g = generators.path_graph(6)
         result = PregelEngine(g, Counter()).run()
         assert all(v == 6 for v in result.values.values())
+
+
+class TestMessageStoreRegressions:
+    def test_messages_for_returns_a_copy(self):
+        # Mutating a delivered inbox must not corrupt the store's
+        # pending messages (workers clear their inboxes after compute).
+        store = MessageStore()
+        store.deliver(1, "a")
+        inbox = store.messages_for(1)
+        inbox.append("b")
+        inbox.clear()
+        assert store.messages_for(1) == ["a"]
+        assert len(store) == 1
+
+    def test_messages_for_copy_on_dense_store(self):
+        store = MessageStore(SumCombiner(), num_vertices=4)
+        store.deliver_many(np.array([2, 2, 3]), np.array([1.0, 2.0, 5.0]))
+        inbox = store.messages_for(2)
+        inbox.clear()
+        assert store.messages_for(2) == [3.0]
+        assert store.messages_for(3) == [5.0]
+
+    def test_from_dict_restores_raw_count(self):
+        store = MessageStore(SumCombiner())
+        store.deliver(0, 1.0)
+        store.deliver(0, 2.0)
+        store.deliver(1, 4.0)
+        assert store.raw_count() == 3
+        restored = MessageStore.from_dict(
+            store.as_dict(), SumCombiner(), raw_count=store.raw_count()
+        )
+        assert restored.raw_count() == 3
+        assert restored.as_dict() == store.as_dict()
+
+    def test_state_dict_round_trip(self):
+        store = MessageStore(MinCombiner(), num_vertices=6)
+        store.deliver_many(np.array([0, 4, 4]), np.array([3.0, 9.0, 2.0]))
+        store.deliver(5, 7.5)
+        restored = MessageStore.from_state(store.state_dict(), MinCombiner())
+        assert restored.as_dict() == store.as_dict()
+        assert restored.raw_count() == store.raw_count()
+        assert len(restored) == len(store)
+
+    def test_deliver_many_matches_scalar_combining(self):
+        rng = np.random.default_rng(3)
+        dst = rng.integers(0, 50, size=400)
+        msgs = rng.random(400)
+        for combiner_cls in (SumCombiner, MinCombiner, MaxCombiner):
+            batched = MessageStore(combiner_cls(), num_vertices=50)
+            batched.deliver_many(dst, msgs)
+            scalar = MessageStore(combiner_cls())
+            for d, m in zip(dst.tolist(), msgs.tolist()):
+                scalar.deliver(d, m)
+            for v in range(50):
+                got = batched.messages_for(v)
+                want = scalar.messages_for(v)
+                assert len(got) == len(want)
+                if want:
+                    assert got[0] == pytest.approx(want[0], rel=1e-12)
+            assert batched.raw_count() == scalar.raw_count()
+
+    def test_deliver_many_without_combiner_keeps_all_messages(self):
+        store = MessageStore(num_vertices=4)
+        store.deliver_many(np.array([1, 1, 2]), np.array([7.0, 8.0, 9.0]))
+        assert sorted(store.messages_for(1)) == [7.0, 8.0]
+        assert store.messages_for(2) == [9.0]
+        assert store.raw_count() == 3
+
+    def test_deliver_many_mixes_with_scalar_delivery(self):
+        store = MessageStore(SumCombiner(), num_vertices=4)
+        store.deliver(1, 1.0)
+        store.deliver_many(np.array([1, 3]), np.array([2.0, 4.0]))
+        store.deliver(3, 0.5)
+        assert store.messages_for(1) == [3.0]
+        assert store.messages_for(3) == [4.5]
+        assert store.raw_count() == 4
+
+    def test_deliver_many_rejects_mismatched_shapes(self):
+        store = MessageStore(SumCombiner(), num_vertices=4)
+        with pytest.raises(ValueError):
+            store.deliver_many(np.array([0, 1]), np.array([1.0]))
+
+
+class TestValuesArrayValidation:
+    def test_dense_ids_round_trip(self):
+        from repro.engine import ExecutionResult
+
+        result = ExecutionResult(
+            values={0: 1.0, 1: 2.0, 2: 3.0}, stats=[], aggregates={},
+            supersteps_run=0, halted_normally=True,
+        )
+        assert np.array_equal(result.values_array(), [1.0, 2.0, 3.0])
+
+    def test_sparse_ids_raise(self):
+        from repro.engine import ExecutionResult
+
+        result = ExecutionResult(
+            values={0: 1.0, 5: 2.0}, stats=[], aggregates={},
+            supersteps_run=0, halted_normally=True,
+        )
+        with pytest.raises(ValueError, match="not dense"):
+            result.values_array()
+
+    def test_negative_ids_raise(self):
+        from repro.engine import ExecutionResult
+
+        result = ExecutionResult(
+            values={-1: 1.0, 0: 2.0}, stats=[], aggregates={},
+            supersteps_run=0, halted_normally=True,
+        )
+        with pytest.raises(ValueError, match="non-negative"):
+            result.values_array()
+
+
+class TestRestoreStats:
+    def test_restore_state_restores_stats(self):
+        from repro.engine.algorithms import PageRank
+
+        g = generators.random_graph(40, avg_degree=4, seed=1)
+        engine = PregelEngine(g, PageRank(iterations=5))
+        for _ in range(3):
+            engine.step()
+        state = engine.capture_state()
+        engine.step()  # diverge past the checkpoint
+
+        fresh = PregelEngine(g, PageRank(iterations=5))
+        fresh.restore_state(state)
+        assert len(fresh.stats) == 3
+        assert fresh.stats == engine.stats[:3]
+
+        # Restoring an engine that had advanced further truncates its
+        # stats back to the checkpointed superstep.
+        engine.restore_state(state)
+        assert len(engine.stats) == 3
