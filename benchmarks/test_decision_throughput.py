@@ -1,0 +1,204 @@
+"""Decision-path micro-benchmark: provisioning decisions/sec, seed vs DP.
+
+The seed decision path evaluated the §5.3 expected cost with a plain
+recursion whose every state re-derived its inputs: eviction MTTFs via a
+fresh ``ndarray.mean()``, ECDF lookups via NumPy scalar ``searchsorted``
+calls, per-state performance-model methods.  This file restores that
+behaviour faithfully — the recursive reference oracle
+(:class:`RecursiveApproximateCostEstimator`, the seed recursion kept
+verbatim) plus seed-replica eviction models — and races it against the
+iterative-DP estimator on two workloads:
+
+* one cold :meth:`HourglassProvisioner.select` per Fig 9 (app, slack)
+  cell — the DP must be at least 5x more decisions/sec while choosing
+  identical configurations;
+* a Fig 5-sized sweep slice through the parallel sweep driver — at
+  least 3x faster wall-clock with bit-identical cell results.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.cloud.eviction import EvictionModel
+from repro.core.expected_cost import RecursiveApproximateCostEstimator
+from repro.core.job import (
+    COLORING_PROFILE,
+    PAGERANK_PROFILE,
+    SSSP_PROFILE,
+    job_with_slack,
+)
+from repro.core.perfmodel import RELOAD_MICRO
+from repro.core.provisioner import HourglassProvisioner, ProvisioningContext
+from repro.core.slack import SlackModel
+from repro.experiments.common import SweepTask, run_sweep_tasks, sweep_strategy
+
+PROFILES = {
+    "sssp": SSSP_PROFILE,
+    "pagerank": PAGERANK_PROFILE,
+    "coloring": COLORING_PROFILE,
+}
+FIG9_SLACKS = (0.1, 0.3, 0.5, 0.7, 1.0)
+MIN_DECISION_SPEEDUP = 5.0
+MIN_SWEEP_SPEEDUP = 3.0
+
+
+class _SeedEvictionModel(EvictionModel):
+    """Replica of the seed empirical model's per-query costs.
+
+    The seed recomputed the MTTF (``ndarray.mean()``) on every property
+    read and answered each CDF query with a scalar NumPy searchsorted —
+    both sat directly on the expected-cost hot path.  Values are
+    identical to the current table-backed model; only the cost differs.
+    """
+
+    def __init__(self, uptimes: np.ndarray):
+        self._uptimes = uptimes
+
+    def cdf(self, uptime: float) -> float:
+        if uptime <= 0:
+            return 0.0
+        return float(np.searchsorted(self._uptimes, uptime, side="right")) / len(
+            self._uptimes
+        )
+
+    @property
+    def mttf(self) -> float:
+        return float(self._uptimes.mean())
+
+
+class _SeedStatsMarket:
+    """Market proxy handing the estimator seed-replica eviction models."""
+
+    def __init__(self, market):
+        self._market = market
+        self._models: dict[int, _SeedEvictionModel] = {}
+
+    def __getattr__(self, name):
+        return getattr(self._market, name)
+
+    def eviction_model(self, config):
+        model = self._market.eviction_model(config)
+        seed = self._models.get(id(model))
+        if seed is None:
+            seed = _SeedEvictionModel(model._uptimes)
+            self._models[id(model)] = seed
+        return seed
+
+
+def _seed_estimator_factory(slack_model, market, catalog, **kwargs):
+    return RecursiveApproximateCostEstimator(
+        slack_model, _SeedStatsMarket(market), catalog, **kwargs
+    )
+
+
+def _fig9_contexts(setup):
+    contexts = []
+    for app, profile in PROFILES.items():
+        perf = setup.perf_model(profile, RELOAD_MICRO)
+        lrc = setup.lrc(perf)
+        for slack in FIG9_SLACKS:
+            job = job_with_slack(profile, 0.0, slack, perf.fixed_time(lrc))
+            slack_model = SlackModel(perf=perf, lrc=lrc, deadline=job.deadline)
+            contexts.append(
+                ProvisioningContext(
+                    t=0.0,
+                    work_left=1.0,
+                    current_config=None,
+                    current_uptime=0.0,
+                    slack_model=slack_model,
+                    market=setup.market,
+                    catalog=setup.catalog,
+                )
+            )
+    return contexts
+
+
+def _time_decisions(contexts, estimator_factory):
+    """One cold select() per context: total seconds and chosen configs."""
+    choices = []
+    elapsed = 0.0
+    for ctx in contexts:
+        provisioner = HourglassProvisioner(estimator_factory=estimator_factory)
+        t0 = time.perf_counter()
+        choices.append(provisioner.select(ctx))
+        elapsed += time.perf_counter() - t0
+    return elapsed, choices
+
+
+def test_decision_throughput(setup, save_result):
+    contexts = _fig9_contexts(setup)
+
+    seed_elapsed, seed_choices = _time_decisions(contexts, _seed_estimator_factory)
+    fast_elapsed, fast_choices = _time_decisions(
+        contexts, HourglassProvisioner().estimator_factory
+    )
+    seed_rate = len(contexts) / seed_elapsed
+    fast_rate = len(contexts) / fast_elapsed
+    decision_speedup = fast_rate / seed_rate
+
+    # Fig 5-sized sweep slice, dominated by provisioning decisions: the
+    # seed stack runs the cells serially with the recursive estimator,
+    # the new stack runs the same cells through the parallel driver with
+    # the iterative DP.
+    sweep_tasks = [
+        SweepTask(
+            profile=PROFILES[app],
+            slack_fraction=slack,
+            strategy="hourglass",
+            num_simulations=2,
+        )
+        for app, slack in (
+            ("sssp", 0.5),
+            ("pagerank", 0.5),
+            ("coloring", 0.3),
+            ("coloring", 0.5),
+        )
+    ]
+    t0 = time.perf_counter()
+    seed_cells = [
+        sweep_strategy(
+            setup,
+            task.profile,
+            task.slack_fraction,
+            HourglassProvisioner(estimator_factory=_seed_estimator_factory),
+            num_simulations=task.num_simulations,
+        )
+        for task in sweep_tasks
+    ]
+    seed_sweep = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    fast_cells = run_sweep_tasks(setup, sweep_tasks)
+    fast_sweep = time.perf_counter() - t0
+    sweep_speedup = seed_sweep / fast_sweep
+
+    rendered = "\n".join(
+        [
+            "decision throughput: HourglassProvisioner.select, "
+            f"fig9 workload ({len(contexts)} cold decisions)",
+            f"  seed recursive estimator: {seed_rate:8.2f} decisions/s "
+            f"({seed_elapsed:.3f}s)",
+            f"  iterative DP estimator  : {fast_rate:8.2f} decisions/s "
+            f"({fast_elapsed:.3f}s)",
+            f"  speedup                 : {decision_speedup:8.2f}x",
+            "",
+            f"sweep wall-clock: fig5-sized slice ({len(sweep_tasks)} cells)",
+            f"  seed serial sweep       : {seed_sweep:8.3f}s",
+            f"  parallel driver + DP    : {fast_sweep:8.3f}s",
+            f"  speedup                 : {sweep_speedup:8.2f}x",
+        ]
+    )
+    save_result("decision_throughput", rendered)
+
+    assert [c.name for c in seed_choices] == [c.name for c in fast_choices]
+    assert seed_cells == fast_cells
+    assert decision_speedup >= MIN_DECISION_SPEEDUP, (
+        f"DP estimator only {decision_speedup:.1f}x faster "
+        f"(need >= {MIN_DECISION_SPEEDUP}x)"
+    )
+    assert sweep_speedup >= MIN_SWEEP_SPEEDUP, (
+        f"new sweep stack only {sweep_speedup:.1f}x faster "
+        f"(need >= {MIN_SWEEP_SPEEDUP}x)"
+    )

@@ -16,6 +16,7 @@ grid for wider studies.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Iterable, Sequence
 
 from repro.cloud.instance import (
@@ -40,9 +41,9 @@ class Configuration:
         if self.num_workers < 1:
             raise ValueError(f"num_workers must be >= 1, got {self.num_workers}")
 
-    @property
+    @cached_property
     def name(self) -> str:
-        """Human-readable identifier."""
+        """Human-readable identifier (cached: it keys hot-path dicts)."""
         return f"{self.num_workers}x{self.instance_type.name}:{self.market.value}"
 
     @property

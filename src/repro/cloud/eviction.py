@@ -14,6 +14,7 @@ event equal to "spot price crosses the on-demand price", which is what
 from __future__ import annotations
 
 import abc
+from bisect import bisect_right
 from dataclasses import dataclass
 
 import numpy as np
@@ -28,6 +29,17 @@ class EvictionModel(abc.ABC):
     @abc.abstractmethod
     def cdf(self, uptime: float) -> float:
         """P(evicted before reaching *uptime* seconds)."""
+
+    def cdf_many(self, uptimes: np.ndarray) -> np.ndarray:
+        """Batched :meth:`cdf` over an array of uptimes.
+
+        Subclasses with table-backed distributions override this with a
+        single vectorized lookup; the fallback loops.
+        """
+        uptimes = np.asarray(uptimes, dtype=np.float64)
+        return np.array([self.cdf(float(u)) for u in uptimes.ravel()]).reshape(
+            uptimes.shape
+        )
 
     @property
     @abc.abstractmethod
@@ -67,6 +79,11 @@ class ExponentialEvictionModel(EvictionModel):
             return 0.0
         return 1.0 - float(np.exp(-uptime / self._mttf))
 
+    def cdf_many(self, uptimes: np.ndarray) -> np.ndarray:
+        """Batched :meth:`cdf` (vectorized closed form)."""
+        uptimes = np.asarray(uptimes, dtype=np.float64)
+        return np.where(uptimes <= 0, 0.0, 1.0 - np.exp(-uptimes / self._mttf))
+
     @property
     def mttf(self) -> float:
         """Mean time to failure in seconds."""
@@ -74,7 +91,13 @@ class ExponentialEvictionModel(EvictionModel):
 
 
 class EmpiricalEvictionModel(EvictionModel):
-    """ECDF over observed uptimes (the paper's trace-derived model)."""
+    """ECDF over observed uptimes (the paper's trace-derived model).
+
+    The sorted sample table *is* the CDF lookup table: a point query is
+    one binary search, a batched query one vectorized ``searchsorted``.
+    The mean (MTTF) is precomputed — the expected-cost hot path reads it
+    for every evaluated state.
+    """
 
     def __init__(self, uptimes: np.ndarray):
         uptimes = np.sort(np.asarray(uptimes, dtype=np.float64))
@@ -83,6 +106,12 @@ class EmpiricalEvictionModel(EvictionModel):
         if uptimes[0] < 0:
             raise ValueError("uptimes must be non-negative")
         self._uptimes = uptimes
+        # CDF lookup table, hoisted out of the per-query path: a plain
+        # Python list makes the scalar bisect ~10x cheaper than a NumPy
+        # scalar searchsorted while returning identical indices.
+        self._uptimes_list = uptimes.tolist()
+        self._n = len(uptimes)
+        self._mttf = float(uptimes.mean())
 
     @classmethod
     def from_trace(
@@ -102,14 +131,18 @@ class EmpiricalEvictionModel(EvictionModel):
         """P(evicted before reaching *uptime* seconds)."""
         if uptime <= 0:
             return 0.0
-        return float(np.searchsorted(self._uptimes, uptime, side="right")) / len(
-            self._uptimes
-        )
+        return bisect_right(self._uptimes_list, uptime) / self._n
+
+    def cdf_many(self, uptimes: np.ndarray) -> np.ndarray:
+        """Batched ECDF lookup (one vectorized ``searchsorted``)."""
+        uptimes = np.asarray(uptimes, dtype=np.float64)
+        counts = np.searchsorted(self._uptimes, uptimes, side="right")
+        return np.where(uptimes <= 0, 0.0, counts / self._n)
 
     @property
     def mttf(self) -> float:
         """Mean time to failure in seconds."""
-        return float(self._uptimes.mean())
+        return self._mttf
 
     @property
     def num_samples(self) -> int:

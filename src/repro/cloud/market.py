@@ -115,6 +115,17 @@ class SpotMarket:
             return config.on_demand_rate
         return config.num_workers * self.spot_price(config.instance_type.name, t)
 
+    def config_rates(self, catalog, t: float) -> np.ndarray:
+        """Deployment prices for a whole catalogue at time *t*.
+
+        The per-decision rate snapshot of the provisioning estimators:
+        one dense array over the catalogue, ``result[i] ==
+        config_rate(catalog[i], t)``.
+        """
+        return np.array(
+            [self.config_rate(config, t) for config in catalog], dtype=np.float64
+        )
+
     def eviction_time(self, config: Configuration, start: float) -> float | None:
         """When a deployment started at *start* would be evicted.
 

@@ -6,6 +6,20 @@ Amazon's published us-east-1 traces; we generate statistically similar
 synthetic traces (:mod:`repro.cloud.trace_gen`) and replay those with
 the identical machinery: price lookup, threshold crossings (evictions at
 bid = on-demand) and price integration (billing).
+
+The query primitives are the hot path of every provisioning study: one
+simulated job issues thousands of ``integrate`` (billing) and
+``next_crossing_above`` (eviction) calls, and the eviction models replay
+tens of thousands of ``uptime_samples`` start points.  All of them run
+on state precomputed once per trace:
+
+* ``integrate`` reads a prefix-sum table of per-segment integrals, so a
+  query is two binary searches instead of a Python loop over segments;
+* ``next_crossing_above`` reads a per-threshold next-crossing index
+  array (a reverse running minimum over the above-threshold segment
+  indices), cached per bid;
+* ``uptime_samples``, ``price_at_many`` and ``integrate_many`` are
+  batched NumPy evaluations of the same tables.
 """
 
 from __future__ import annotations
@@ -48,6 +62,14 @@ class PriceTrace:
             raise ValueError("times must be strictly increasing")
         if np.any(prices < 0):
             raise ValueError("prices must be non-negative")
+        # Prefix sums of the per-segment integrals (price * seconds):
+        # _cum[i] = integral of the price from times[0] to times[i].
+        cum = np.empty(len(times), dtype=np.float64)
+        cum[0] = 0.0
+        np.cumsum(prices[:-1] * np.diff(times), out=cum[1:])
+        object.__setattr__(self, "_cum", cum)
+        # Per-threshold next-crossing index arrays, built on first use.
+        object.__setattr__(self, "_crossing_cache", {})
 
     # ------------------------------------------------------------------
     @property
@@ -67,11 +89,42 @@ class PriceTrace:
             raise ValueError(f"t={t} precedes trace start {self.start}")
         return idx
 
+    def _segments(self, ts: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`_segment` with the same bound checks."""
+        idx = np.searchsorted(self.times, ts, side="right") - 1
+        if np.any(idx < 0):
+            bad = float(ts[np.argmin(idx)])
+            raise ValueError(f"t={bad} precedes trace start {self.start}")
+        return idx
+
+    def _next_above(self, threshold: float) -> np.ndarray:
+        """Index of the first segment >= i whose price exceeds *threshold*.
+
+        ``result[i] == len(times)`` means no such segment exists.  Built
+        once per threshold (one reverse running minimum) and cached —
+        evictions always probe the same bid (the on-demand price), so
+        in practice each trace holds one or two of these arrays.
+        """
+        table = self._crossing_cache.get(threshold)
+        if table is None:
+            n = len(self.prices)
+            idx = np.where(self.prices > threshold, np.arange(n), n)
+            table = np.minimum.accumulate(idx[::-1])[::-1]
+            self._crossing_cache[threshold] = table
+        return table
+
     def price_at(self, t: float) -> float:
         """Spot price ($/machine-hour) in effect at time *t*."""
         if t > self.end:
             raise ValueError(f"t={t} beyond trace end {self.end}")
         return float(self.prices[self._segment(min(t, self.end))])
+
+    def price_at_many(self, ts: np.ndarray) -> np.ndarray:
+        """Batched :meth:`price_at` over an array of timestamps."""
+        ts = np.asarray(ts, dtype=np.float64)
+        if ts.size and float(ts.max()) > self.end:
+            raise ValueError(f"t={float(ts.max())} beyond trace end {self.end}")
+        return self.prices[self._segments(np.minimum(ts, self.end))]
 
     def next_crossing_above(self, t: float, threshold: float) -> float | None:
         """First time >= *t* when the price exceeds *threshold*.
@@ -83,12 +136,16 @@ class PriceTrace:
         if t > self.end:
             raise ValueError(f"t={t} beyond trace end {self.end}")
         idx = self._segment(t)
-        if self.prices[idx] > threshold:
-            return float(t)
-        above = np.flatnonzero(self.prices[idx + 1 :] > threshold)
-        if len(above) == 0:
+        j = int(self._next_above(threshold)[idx])
+        if j == len(self.prices):
             return None
-        return float(self.times[idx + 1 + above[0]])
+        if j == idx:
+            return float(t)
+        return float(self.times[j])
+
+    def _definite_integral(self, t: float, idx: int) -> float:
+        """Integral (price * seconds) from the trace start to *t*."""
+        return float(self._cum[idx] + self.prices[idx] * (t - self.times[idx]))
 
     def integrate(self, t0: float, t1: float) -> float:
         """Integral of the price over ``[t0, t1]`` in dollar-hours.
@@ -107,11 +164,29 @@ class PriceTrace:
         i0, i1 = self._segment(t0), self._segment(min(t1, self.end))
         if i0 == i1:
             return float(self.prices[i0] * (t1 - t0) / HOURS)
-        total = self.prices[i0] * (self.times[i0 + 1] - t0)
-        for i in range(i0 + 1, i1):
-            total += self.prices[i] * (self.times[i + 1] - self.times[i])
-        total += self.prices[i1] * (t1 - self.times[i1])
-        return float(total / HOURS)
+        return (
+            self._definite_integral(t1, i1) - self._definite_integral(t0, i0)
+        ) / HOURS
+
+    def integrate_many(self, t0s: np.ndarray, t1s: np.ndarray) -> np.ndarray:
+        """Batched :meth:`integrate` over arrays of window bounds."""
+        t0s = np.asarray(t0s, dtype=np.float64)
+        t1s = np.asarray(t1s, dtype=np.float64)
+        if t0s.shape != t1s.shape:
+            raise ValueError("t0s and t1s must have the same shape")
+        if np.any(t1s < t0s):
+            raise ValueError("every window needs t1 >= t0")
+        if t0s.size == 0:
+            return np.zeros_like(t0s)
+        if float(t0s.min()) < self.start or float(t1s.max()) > self.end:
+            raise ValueError(
+                f"windows outside trace coverage [{self.start}, {self.end}]"
+            )
+        i0 = self._segments(t0s)
+        i1 = self._segments(np.minimum(t1s, self.end))
+        lower = self._cum[i0] + self.prices[i0] * (t0s - self.times[i0])
+        upper = self._cum[i1] + self.prices[i1] * (t1s - self.times[i1])
+        return (upper - lower) / HOURS
 
     def mean_price(self, t0: float | None = None, t1: float | None = None) -> float:
         """Time-weighted mean price over a window (whole trace by default)."""
@@ -123,14 +198,22 @@ class PriceTrace:
         return self.integrate(t0, t1) / span_hours
 
     def slice(self, t0: float, t1: float) -> "PriceTrace":
-        """Sub-trace covering ``[t0, t1]``."""
+        """Sub-trace covering ``[t0, t1]``.
+
+        The result always spans exactly ``[t0, t1]`` with no zero-width
+        segments: its change points are *t0*, every parent change point
+        strictly inside ``(t0, t1)``, and *t1*; its final price is the
+        parent's (right-continuous) price at *t1*.
+        """
         if not self.start <= t0 < t1 <= self.end:
             raise ValueError("invalid slice bounds")
-        i0, i1 = self._segment(t0), self._segment(min(t1, self.end))
-        times = np.concatenate([[t0], self.times[i0 + 1 : i1 + 1], [t1]])
-        prices = np.concatenate([self.prices[i0 : i1 + 1], [self.prices[i1]]])
-        # Drop the duplicated final point introduced above.
-        return PriceTrace(times=times[:-1], prices=prices[:-1], instance_name=self.instance_name)
+        lo = int(np.searchsorted(self.times, t0, side="right"))
+        hi = int(np.searchsorted(self.times, t1, side="left"))
+        times = np.concatenate([[t0], self.times[lo:hi], [t1]])
+        prices = np.concatenate(
+            [self.prices[lo - 1 : hi], [self.prices[self._segment(t1)]]]
+        )
+        return PriceTrace(times=times, prices=prices, instance_name=self.instance_name)
 
     def uptime_samples(self, bid: float, sample_interval: float = 15 * 60.0) -> np.ndarray:
         """Time-to-eviction from regular start points (historical stats).
@@ -142,10 +225,11 @@ class PriceTrace:
         need uncensored data should use a long trace.
         """
         starts = np.arange(self.start, self.end, sample_interval)
-        uptimes = []
-        for s in starts:
-            if self.price_at(s) > bid:
-                continue
-            crossing = self.next_crossing_above(s, bid)
-            uptimes.append((crossing if crossing is not None else self.end) - s)
-        return np.asarray(uptimes, dtype=np.float64)
+        if len(starts) == 0:
+            return np.empty(0, dtype=np.float64)
+        seg = self._segments(starts)
+        alive = self.prices[seg] <= bid
+        starts, seg = starts[alive], seg[alive]
+        nxt = self._next_above(bid)[seg]
+        crossing = np.where(nxt < len(self.prices), self.times[np.minimum(nxt, len(self.times) - 1)], self.end)
+        return np.asarray(crossing - starts, dtype=np.float64)

@@ -24,6 +24,7 @@ from repro.core.expected_cost import (
     Decision,
     DecisionBudgetExceeded,
     ExactCostEstimator,
+    RecursiveApproximateCostEstimator,
 )
 from repro.core.job import (
     COLORING_PROFILE,
@@ -78,6 +79,7 @@ __all__ = [
     "Phase",
     "PhaseModel",
     "ApproximateCostEstimator",
+    "RecursiveApproximateCostEstimator",
     "COLORING_PROFILE",
     "Decision",
     "DecisionBudgetExceeded",

@@ -13,13 +13,23 @@ starting at time ``t`` on configuration ``c``:
   of the failure branch (all progress since the last checkpoint lost)
   and the success branch (a checkpoint lands), each recursing.
 
-Two implementations share this definition:
+Three implementations share this definition:
 
-:class:`ApproximateCostEstimator` — the paper's §5.3 simplifications:
-    the success branch recurses only on the *current* configuration
-    (reconfigurations not caused by evictions are rare), and the failure
-    branch is evaluated only at the configuration's MTTF instead of
-    integrating over every failure instant.  Decisions take milliseconds.
+:class:`ApproximateCostEstimator` — the paper's §5.3 simplifications
+    (the success branch recurses only on the *current* configuration,
+    the failure branch is evaluated only at the configuration's MTTF),
+    evaluated as an **iterative dynamic program**: states live on a
+    (config × slack-bucket × work-bucket × running × fail-depth) grid,
+    an explicit work stack resolves them bottom-up in dependency order,
+    and every per-configuration quantity (rates, timings, checkpoint
+    intervals, eviction-CDF tables) is precomputed into dense arrays
+    over the catalogue.  No recursion, no ``sys.setrecursionlimit``;
+    decisions take milliseconds.
+
+:class:`RecursiveApproximateCostEstimator` — the direct recursive
+    transcription of the same §5.3 equations, kept as the reference
+    oracle: the DP must pick identical configurations at identical
+    costs (``tests/test_expected_cost_equivalence.py`` asserts this).
 
 :class:`ExactCostEstimator` — the §5.2 formulation: the failure
     integral is approximated by a finite sum over a time discretisation
@@ -38,6 +48,7 @@ from dataclasses import dataclass
 
 from repro.cloud.configuration import Configuration
 from repro.cloud.market import SpotMarket
+from repro.core.ckpt_policy import daly_interval
 from repro.core.slack import SlackModel
 from repro.core.warning import NO_WARNING, WarningPolicy
 from repro.utils.units import HOURS
@@ -53,8 +64,10 @@ class DecisionBudgetExceeded(RuntimeError):
 def _recursion_headroom(limit: int = 100_000):
     """Temporarily raise the interpreter recursion limit.
 
-    The EC recursions advance in (slack, work) steps whose count can
-    exceed CPython's default 1000-frame limit for long-horizon jobs.
+    The *recursive* EC formulations advance in (slack, work) steps whose
+    count can exceed CPython's default 1000-frame limit for long-horizon
+    jobs.  Only the exact estimator and the recursive reference oracle
+    need this; the production approximate estimator is iterative.
     """
     old = sys.getrecursionlimit()
     sys.setrecursionlimit(max(old, limit))
@@ -89,10 +102,19 @@ class _EstimatorBase:
     def snapshot(self, t: float) -> None:
         """Freeze market prices at decision time *t* for this evaluation."""
         self._now = t
-        self._rates = {c.name: self.market.config_rate(c, t) for c in self.catalog}
+        rates = self.market.config_rates(self.catalog, t)
+        self._rates = {c.name: float(r) for c, r in zip(self.catalog, rates)}
 
     def _rate(self, config: Configuration) -> float:
         return self._rates[config.name]
+
+    def _evaluation_guard(self):
+        """Context manager wrapping one full catalogue evaluation.
+
+        Recursive estimators override this with recursion headroom; the
+        iterative estimator needs none.
+        """
+        return contextlib.nullcontext()
 
     def _on_demand_cost(
         self, config: Configuration, work_left: float, already_running: bool
@@ -116,7 +138,7 @@ class _EstimatorBase:
         self.snapshot(t)
         best_config = None
         best_cost = math.inf
-        with _recursion_headroom():
+        with self._evaluation_guard():
             for config in self.catalog:
                 if config.is_transient and not self.market.usable_at(config, t):
                     continue
@@ -126,10 +148,13 @@ class _EstimatorBase:
                 )
                 if cost < best_cost:
                     best_cost, best_config = cost, config
-        if best_config is None:
-            # Degenerate: nothing feasible; fall back to the last resort.
-            best_config = self.slack.lrc
-            best_cost = self.config_cost(best_config, t, work_left, 0.0, False)
+            if best_config is None:
+                # Degenerate: nothing feasible; fall back to the last
+                # resort.  Still inside the evaluation guard — an
+                # all-infeasible catalogue must yield the lrc decision,
+                # not a RecursionError from an unprotected recursion.
+                best_config = self.slack.lrc
+                best_cost = self.config_cost(best_config, t, work_left, 0.0, False)
         return Decision(
             config=best_config,
             expected_cost=best_cost,
@@ -149,12 +174,12 @@ class _EstimatorBase:
         raise NotImplementedError
 
 
-class ApproximateCostEstimator(_EstimatorBase):
-    """The §5.3 approximation — milliseconds per decision.
+class _ApproximateBase(_EstimatorBase):
+    """Shared state of the §5.3 estimators: grids, memo, price drift.
 
     Beyond the paper's two simplifications (success branch stays on the
-    current configuration; failure branch evaluated at the MTTF), the
-    implementation exploits that — with decision-time prices frozen —
+    current configuration; failure branch evaluated at the MTTF), both
+    implementations exploit that — with decision-time prices frozen —
     the expected cost depends on absolute time only through the *slack*,
     so states are memoised on ``(config, slack, work)`` buckets.  The
     memo survives across decisions while market prices stay within
@@ -204,7 +229,7 @@ class ApproximateCostEstimator(_EstimatorBase):
         """
         if self._auto_slack_grid:
             # ~50 buckets across the initial slack; a low floor keeps
-            # small-slack recursions (whose per-interval slack drain can
+            # small-slack chains (whose per-interval slack drain can
             # be a few seconds) from collapsing into one bucket, which
             # the cycle guard would misread as a loop.
             self.slack_grid = max(5.0, slack / 50.0)
@@ -222,6 +247,251 @@ class ApproximateCostEstimator(_EstimatorBase):
             if drift <= self.price_tolerance:
                 return
         self._memo.clear()
+
+
+class ApproximateCostEstimator(_ApproximateBase):
+    """The §5.3 approximation as an iterative DP — milliseconds per decision.
+
+    States are the memo buckets ``(config, slack-bucket, work-bucket,
+    running, fail-depth)``; a state's children are the success
+    continuation (same configuration, less work) and the
+    post-eviction follow-ups (every other configuration one fail-depth
+    deeper, or the last resort at the depth cap).  An explicit work
+    stack expands only the states reachable from the queried root and
+    resolves them bottom-up — children strictly before parents, a state
+    re-entered while still open reads ∞ (the cycle guard) — which is
+    exactly the evaluation order of the recursive §5.3 transcription,
+    so costs and decisions are bit-identical to
+    :class:`RecursiveApproximateCostEstimator` without any recursion.
+
+    Every quantity the transition needs is precomputed into dense
+    per-catalogue arrays at construction (execution/save/setup times,
+    Daly checkpoint intervals, MTTFs, eviction-CDF lookup tables) or at
+    snapshot time (deployment rates), so evaluating one state is pure
+    float arithmetic plus one CDF table lookup.
+    """
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        perf = self.slack.perf
+        self._lrc_exec = self.slack.lrc_exec_time
+        self._lrc_fixed = self.slack.lrc_fixed_time
+        self._warning_lead = self.warning.lead_seconds
+        self._table_cfgs: list[Configuration] = []
+        self._cfg_index: dict[str, int] = {}
+        self._exec_t: list[float] = []
+        self._save_t: list[float] = []
+        self._setup_t: list[float] = []
+        self._fixed_t: list[float] = []
+        self._is_spot: list[bool] = []
+        self._mttf: list[float] = []
+        self._daly: list[float] = []
+        self._cdf: list = []
+        self._can_salvage: list[bool] = []
+        self._rate_arr: list[float] = []
+        for config in self.catalog:
+            self._ensure_cfg(config)
+        self._catalog_idx = [self._cfg_index[c.name] for c in self.catalog]
+        self._lrc_idx = self._ensure_cfg(self._lrc)
+        del perf  # tables hold everything the evaluation needs
+
+    def _ensure_cfg(self, config: Configuration) -> int:
+        """Index of *config* in the precomputed tables (appending it if new)."""
+        idx = self._cfg_index.get(config.name)
+        if idx is not None:
+            return idx
+        perf = self.slack.perf
+        idx = len(self._table_cfgs)
+        self._cfg_index[config.name] = idx
+        self._table_cfgs.append(config)
+        save = perf.save_time(config)
+        self._exec_t.append(perf.exec_time(config))
+        self._save_t.append(save)
+        self._setup_t.append(perf.setup_time(config))
+        self._fixed_t.append(perf.fixed_time(config))
+        self._is_spot.append(config.is_transient)
+        if config.is_transient:
+            model = self.market.eviction_model(config)
+            mttf = model.mttf
+            self._mttf.append(mttf)
+            self._daly.append(daly_interval(save, mttf))
+            self._cdf.append(model.cdf)
+        else:
+            self._mttf.append(math.inf)
+            self._daly.append(math.inf)
+            self._cdf.append(None)
+        self._can_salvage.append(self.warning.can_save(save))
+        self._rate_arr.append(self._rates.get(config.name, math.nan))
+        return idx
+
+    def snapshot(self, t: float) -> None:
+        """Freeze market prices at decision time *t*."""
+        super().snapshot(t)
+        rates = self._rates
+        self._rate_arr = [rates.get(c.name, math.nan) for c in self._table_cfgs]
+
+    def config_cost(self, config, t, work_left, uptime, already_running) -> float:
+        # The DP lives in slack space; absolute time and machine uptime
+        # are dropped (memoryless eviction approximation).
+        """EC(t, w)|config under this estimator's formulation."""
+        slack = self.slack.slack(t, work_left)
+        if not self._grids_tuned:
+            self._tune_grids(max(slack, 60.0))
+        return self._evaluate(
+            self._ensure_cfg(config), slack, work_left, already_running, 0
+        )
+
+    # ------------------------------------------------------------------
+    # The iterative DP
+    # ------------------------------------------------------------------
+    def _evaluate(self, ci, slack, work_left, running, depth) -> float:
+        """Resolve one root state with an explicit work stack.
+
+        The stack holds one open generator per in-flight state
+        (:meth:`_transition`); a generator yields the child states it
+        needs and is resumed with their values, and its return value is
+        the state's cost.  Children are therefore fully resolved before
+        their parents — bottom-up over the reachable state grid.
+        """
+        if work_left <= _WORK_EPS:
+            return 0.0
+        memo = self._memo
+        slack_grid = self.slack_grid
+        work_grid = self.work_grid
+        inf = math.inf
+        root_key = (ci, int(slack / slack_grid), int(work_left / work_grid), running, depth)
+        cached = memo.get(root_key)
+        if cached is not None:
+            return cached
+        memo[root_key] = inf  # cycle guard
+        stack = [(root_key, self._transition(ci, slack, work_left, running, depth))]
+        retval = None
+        while stack:
+            key, gen = stack[-1]
+            try:
+                child = gen.send(retval)
+            except StopIteration as done:
+                memo[key] = done.value
+                retval = done.value
+                stack.pop()
+                continue
+            cci, cslack, cwork, crunning, cdepth = child
+            if cwork <= _WORK_EPS:
+                retval = 0.0
+                continue
+            ckey = (
+                cci,
+                int(cslack / slack_grid),
+                int(cwork / work_grid),
+                crunning,
+                cdepth,
+            )
+            cached = memo.get(ckey)
+            if cached is not None:
+                retval = cached
+                continue
+            memo[ckey] = inf  # cycle guard
+            stack.append((ckey, self._transition(cci, cslack, cwork, crunning, cdepth)))
+            retval = None
+        return memo[root_key]
+
+    def _transition(self, ci, slack, work_left, running, depth):
+        """One state's cost as a generator over its child states.
+
+        Yields ``(config-idx, slack, work, running, depth)`` child
+        requests, receives their costs, returns this state's cost.
+        """
+        exec_t = self._exec_t[ci]
+        save = self._save_t[ci]
+        switch = save if running else self._fixed_t[ci]
+        if not self._is_spot[ci]:
+            feasible = (
+                slack
+                + self._lrc_fixed
+                + work_left * self._lrc_exec
+                - switch
+                - work_left * exec_t
+                >= -1e-9
+            )
+            if not feasible:
+                return math.inf
+            setup = 0.0 if running else self._setup_t[ci]
+            runtime = setup + work_left * exec_t + save
+            return self._rate_arr[ci] * runtime / HOURS
+        if slack - switch <= 0.0:
+            return math.inf
+        mttf = self._mttf[ci]
+        interval = min(work_left * exec_t, slack - switch, self._daly[ci])
+        if interval <= 0:
+            return math.inf
+        setup = 0.0 if running else self._setup_t[ci]
+        exposure = setup + interval + save
+        rate = self._rate_arr[ci]
+        p_fail = min(1.0, max(0.0, self._cdf[ci](exposure)))
+
+        # Success branch (§5.3 #1): the checkpoint lands and the job
+        # keeps running here.  Slack drains by the elapsed time minus the
+        # progress converted back into last-resort time.
+        progress = min(work_left, interval / exec_t)
+        slack_after_success = slack - exposure + progress * self._lrc_exec
+        success_value = yield (
+            ci,
+            slack_after_success,
+            work_left - progress,
+            True,
+            depth,
+        )
+        success_cost = rate * exposure / HOURS + success_value
+
+        # Failure branch (§5.3 #2): evaluated at the MTTF (clamped into
+        # the exposure window).  Without an eviction warning no work
+        # survives; with one that covers t_save (§9 extension), the
+        # computation up to the warning instant is checkpointed.
+        fail_at = min(max(mttf, self.slack_grid), exposure)
+        salvaged = 0.0
+        if self._can_salvage[ci]:
+            computed = fail_at - setup - self._warning_lead
+            if computed > 0:
+                salvaged = min(work_left, computed / exec_t)
+        work_after_fail = work_left - salvaged
+        slack_after_fail = slack - fail_at + salvaged * self._lrc_exec
+        if work_after_fail <= _WORK_EPS:
+            follow = 0.0
+        elif depth >= self.max_fail_depth:
+            follow = yield (
+                self._lrc_idx,
+                slack_after_fail,
+                work_after_fail,
+                False,
+                depth,
+            )
+        else:
+            # Minimise over the catalogue, skipping the evicted market:
+            # right after an eviction that market's price exceeds the
+            # bid, so the same configuration cannot be re-provisioned.
+            follow = math.inf
+            for cj in self._catalog_idx:
+                if cj == ci and self._is_spot[cj]:
+                    continue
+                cost = yield (cj, slack_after_fail, work_after_fail, False, depth + 1)
+                if cost < follow:
+                    follow = cost
+        fail_cost = rate * fail_at / HOURS + follow
+        return p_fail * fail_cost + (1.0 - p_fail) * success_cost
+
+
+class RecursiveApproximateCostEstimator(_ApproximateBase):
+    """Reference oracle: the §5.3 equations as a direct recursion.
+
+    This is the seed implementation, kept verbatim so tests (and the
+    decision-throughput benchmark) can hold the iterative DP to
+    bit-identical costs and configuration choices.  It needs recursion
+    headroom (``sys.setrecursionlimit``) for long-horizon jobs; never
+    use it on the production decision path.
+    """
+
+    def _evaluation_guard(self):
+        return _recursion_headroom()
 
     def config_cost(self, config, t, work_left, uptime, already_running) -> float:
         # The recursion lives in slack space; absolute time and machine
@@ -346,6 +616,9 @@ class ExactCostEstimator(_EstimatorBase):
         self.max_states = max_states
         self._memo: dict = {}
         self._states = 0
+
+    def _evaluation_guard(self):
+        return _recursion_headroom()
 
     def snapshot(self, t: float) -> None:
         """Freeze market prices at decision time *t*."""

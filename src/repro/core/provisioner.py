@@ -87,6 +87,10 @@ class HourglassProvisioner(Provisioner):
         slack_grid: memoisation granularity passed to the estimator
             (None = adaptive).
         work_grid: work-fraction granularity (None = adaptive).
+        estimator_factory: estimator class (or factory with the
+            :class:`ApproximateCostEstimator` signature) to instantiate.
+            Defaults to the iterative DP; the decision-throughput
+            benchmark swaps in the recursive reference oracle.
     """
 
     name = "hourglass"
@@ -96,10 +100,12 @@ class HourglassProvisioner(Provisioner):
         slack_grid: float | None = None,
         work_grid: float | None = None,
         warning: WarningPolicy = NO_WARNING,
+        estimator_factory=ApproximateCostEstimator,
     ):
         self.slack_grid = slack_grid
         self.work_grid = work_grid
         self.warning = warning
+        self.estimator_factory = estimator_factory
         self._estimator: ApproximateCostEstimator | None = None
         self._estimator_key = None
         self.last_decision: Decision | None = None
@@ -113,7 +119,7 @@ class HourglassProvisioner(Provisioner):
     def _estimator_for(self, ctx: ProvisioningContext) -> ApproximateCostEstimator:
         key = (id(ctx.slack_model), id(ctx.market), tuple(c.name for c in ctx.catalog))
         if self._estimator is None or key != self._estimator_key:
-            self._estimator = ApproximateCostEstimator(
+            self._estimator = self.estimator_factory(
                 ctx.slack_model,
                 ctx.market,
                 ctx.catalog,

@@ -14,7 +14,10 @@ from repro.experiments import (
 from repro.experiments.common import (
     CellResult,
     ExperimentSetup,
+    SweepTask,
     offline_partition_cost,
+    parallel_cells,
+    run_sweep_tasks,
     strategy_registry,
     sweep_strategy,
 )
@@ -23,6 +26,7 @@ from repro.experiments.report import format_markdown, format_table
 __all__ = [
     "CellResult",
     "ExperimentSetup",
+    "SweepTask",
     "ablations",
     "catalog_study",
     "fig1_motivation",
@@ -34,6 +38,8 @@ __all__ = [
     "format_markdown",
     "format_table",
     "offline_partition_cost",
+    "parallel_cells",
+    "run_sweep_tasks",
     "strategy_registry",
     "sweep_strategy",
     "table2_datasets",

@@ -4,11 +4,22 @@ Every figure module builds an :class:`ExperimentSetup` (synthetic market
 + catalogue + per-application performance models, all seeded) and uses
 :func:`sweep_strategy` to run many randomly-started simulations of one
 (application, slack, strategy) cell, the paper's §8.1 methodology.
+
+Cells are mutually independent and fully determined by the setup's seed,
+so a figure's grid parallelises trivially: :func:`run_sweep_tasks` (and
+the generic :func:`parallel_cells`) fan cells out over a
+``ProcessPoolExecutor`` while preserving the serial result order
+bit-for-bit — each worker process deterministically rebuilds the
+:class:`ExperimentSetup` from ``(seed, trace_days, reload_mode)``, and
+``Executor.map`` keeps submission order.  Provisioners travel as
+*registry keys*, not objects, because the registry holds lambdas.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, replace
 from typing import Callable
 
 import numpy as np
@@ -74,6 +85,7 @@ class ExperimentSetup:
 
     def __init__(self, seed: int = 42, trace_days: int = 30, reload_mode: str = RELOAD_MICRO):
         self.seed = seed
+        self.trace_days = trace_days
         self.market = SpotMarket.synthetic(
             R4_FAMILY, duration=trace_days * 24 * HOURS, seed=seed
         )
@@ -182,6 +194,108 @@ def sweep_strategy(
         mean_evictions=evictions / num_simulations,
         mean_deployments=deployments / num_simulations,
     )
+
+
+@dataclass(frozen=True)
+class SweepTask:
+    """One (application, slack, strategy) cell of a figure grid.
+
+    Serialisable description of a :func:`sweep_strategy` call: the
+    provisioner is named by its :func:`strategy_registry` key (factories
+    in the registry are not picklable; a key plus a fresh registry in
+    the worker is).
+
+    Attributes:
+        label: optional :class:`CellResult` strategy-name override
+            (Fig 7 reports the same strategies under ablation labels).
+    """
+
+    profile: ApplicationProfile
+    slack_fraction: float
+    strategy: str
+    num_simulations: int = 40
+    reload_mode: str | None = None
+    offline_cost: float = 0.0
+    label: str | None = None
+
+
+# Per-worker-process ExperimentSetup, built once by _init_worker.  A
+# setup is deterministic in (seed, trace_days, reload_mode), so worker
+# rebuilds reproduce the parent's market and catalogue exactly.
+_WORKER_SETUP: ExperimentSetup | None = None
+
+
+def _init_worker(seed: int, trace_days: int, reload_mode: str) -> None:
+    global _WORKER_SETUP
+    _WORKER_SETUP = ExperimentSetup(
+        seed=seed, trace_days=trace_days, reload_mode=reload_mode
+    )
+
+
+def _call_with_worker_setup(fn, item):
+    return fn(_WORKER_SETUP, item)
+
+
+def parallel_cells(
+    setup: ExperimentSetup,
+    fn: Callable,
+    items,
+    max_workers: int | None = None,
+) -> list:
+    """Evaluate ``fn(setup, item)`` per item, fanning out over processes.
+
+    Results come back in item order regardless of completion order, and
+    each worker rebuilds *setup* deterministically from its parameters,
+    so the output is bit-identical to the serial loop — parallelism is
+    purely a wall-clock optimisation.  *fn* must be a module-level
+    function and the items picklable.
+
+    Args:
+        max_workers: process count; ``None`` = CPU count.  Values <= 1
+            (or a single item) short-circuit to the in-process serial
+            loop with no executor overhead.
+    """
+    items = list(items)
+    if max_workers is None:
+        max_workers = os.cpu_count() or 1
+    if max_workers <= 1 or len(items) <= 1:
+        return [fn(setup, item) for item in items]
+    with ProcessPoolExecutor(
+        max_workers=min(max_workers, len(items)),
+        initializer=_init_worker,
+        initargs=(setup.seed, setup.trace_days, setup.reload_mode),
+    ) as executor:
+        return list(executor.map(_call_with_worker_setup, [fn] * len(items), items))
+
+
+def _sweep_cell(setup: ExperimentSetup, task: SweepTask) -> CellResult:
+    provisioner = strategy_registry()[task.strategy]()
+    result = sweep_strategy(
+        setup,
+        task.profile,
+        task.slack_fraction,
+        provisioner,
+        num_simulations=task.num_simulations,
+        reload_mode=task.reload_mode,
+        offline_cost=task.offline_cost,
+    )
+    if task.label is not None:
+        result = replace(result, strategy=task.label)
+    return result
+
+
+def run_sweep_tasks(
+    setup: ExperimentSetup,
+    tasks,
+    max_workers: int | None = None,
+) -> list[CellResult]:
+    """Run a grid of :class:`SweepTask` cells, optionally in parallel.
+
+    The parallel sweep driver behind Fig 5/7: one :class:`CellResult`
+    per task, in task order, bit-identical to calling
+    :func:`sweep_strategy` serially.
+    """
+    return parallel_cells(setup, _sweep_cell, tasks, max_workers)
 
 
 def offline_partition_cost(

@@ -18,8 +18,8 @@ from repro.core.job import COLORING_PROFILE, PAGERANK_PROFILE, SSSP_PROFILE
 from repro.experiments.common import (
     CellResult,
     ExperimentSetup,
-    strategy_registry,
-    sweep_strategy,
+    SweepTask,
+    run_sweep_tasks,
 )
 from repro.experiments.report import format_table
 
@@ -38,25 +38,27 @@ def run(
     slacks=DEFAULT_SLACKS,
     strategies=DEFAULT_STRATEGIES,
     num_simulations: int = 40,
+    max_workers: int | None = None,
 ) -> list[CellResult]:
-    """Run the Fig 5 grid; one CellResult per (app, slack, strategy)."""
+    """Run the Fig 5 grid; one CellResult per (app, slack, strategy).
+
+    Cells fan out over a process pool (``max_workers=None`` = CPU
+    count); results are bit-identical to the serial sweep in the same
+    (app, slack, strategy) order.
+    """
     setup = setup or ExperimentSetup()
-    registry = strategy_registry()
-    results = []
-    for app in apps:
-        profile = PROFILES[app]
-        for slack in slacks:
-            for strategy in strategies:
-                results.append(
-                    sweep_strategy(
-                        setup,
-                        profile,
-                        slack,
-                        registry[strategy](),
-                        num_simulations=num_simulations,
-                    )
-                )
-    return results
+    tasks = [
+        SweepTask(
+            profile=PROFILES[app],
+            slack_fraction=slack,
+            strategy=strategy,
+            num_simulations=num_simulations,
+        )
+        for app in apps
+        for slack in slacks
+        for strategy in strategies
+    ]
+    return run_sweep_tasks(setup, tasks, max_workers=max_workers)
 
 
 def render(results) -> str:

@@ -18,15 +18,14 @@ small slacks, where bad provisioning decisions hurt the most.
 
 from __future__ import annotations
 
-from repro.core.baselines import DeadlineProtected, SpotOnProvisioner
 from repro.core.job import COLORING_PROFILE
 from repro.core.perfmodel import RELOAD_FULL, RELOAD_MICRO
-from repro.core.provisioner import HourglassProvisioner
 from repro.experiments.common import (
     CellResult,
     ExperimentSetup,
+    SweepTask,
     offline_partition_cost,
-    sweep_strategy,
+    run_sweep_tasks,
 )
 from repro.experiments.report import format_table
 
@@ -37,8 +36,13 @@ def run(
     setup: ExperimentSetup | None = None,
     slacks=DEFAULT_SLACKS,
     num_simulations: int = 40,
+    max_workers: int | None = None,
 ) -> list[CellResult]:
-    """Run the three Fig 7 curves; one CellResult per (curve, slack)."""
+    """Run the three Fig 7 curves; one CellResult per (curve, slack).
+
+    Cells fan out over the shared parallel sweep driver; the strategies
+    are named by registry key and re-labelled per ablation curve.
+    """
     setup = setup or ExperimentSetup()
     profile = COLORING_PROFILE
     perf_full = setup.perf_model(profile, RELOAD_FULL)
@@ -46,48 +50,37 @@ def run(
     curves = [
         (
             "slackaware+metis",
-            HourglassProvisioner,
+            "hourglass",
             RELOAD_FULL,
             offline_partition_cost(perf_full, counts, RELOAD_FULL),
         ),
         (
             "slackaware+umetis",
-            HourglassProvisioner,
+            "hourglass",
             RELOAD_MICRO,
             offline_partition_cost(perf_full, counts, RELOAD_MICRO),
         ),
         (
             "spoton+dp+umetis",
-            lambda: DeadlineProtected(SpotOnProvisioner()),
+            "spoton+dp",
             RELOAD_MICRO,
             offline_partition_cost(perf_full, counts, RELOAD_MICRO),
         ),
     ]
-    results = []
-    for slack in slacks:
-        for label, factory, mode, offline in curves:
-            cell = sweep_strategy(
-                setup,
-                profile,
-                slack,
-                factory(),
-                num_simulations=num_simulations,
-                reload_mode=mode,
-                offline_cost=offline,
-            )
-            results.append(
-                CellResult(
-                    strategy=label,
-                    app=cell.app,
-                    slack_percent=cell.slack_percent,
-                    normalized_cost=cell.normalized_cost,
-                    missed_percent=cell.missed_percent,
-                    simulations=cell.simulations,
-                    mean_evictions=cell.mean_evictions,
-                    mean_deployments=cell.mean_deployments,
-                )
-            )
-    return results
+    tasks = [
+        SweepTask(
+            profile=profile,
+            slack_fraction=slack,
+            strategy=strategy,
+            num_simulations=num_simulations,
+            reload_mode=mode,
+            offline_cost=offline,
+            label=label,
+        )
+        for slack in slacks
+        for label, strategy, mode, offline in curves
+    ]
+    return run_sweep_tasks(setup, tasks, max_workers=max_workers)
 
 
 def render(results) -> str:

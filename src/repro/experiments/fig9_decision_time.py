@@ -30,7 +30,7 @@ from repro.core.job import (
 )
 from repro.core.perfmodel import RELOAD_MICRO
 from repro.core.slack import SlackModel
-from repro.experiments.common import ExperimentSetup
+from repro.experiments.common import ExperimentSetup, parallel_cells
 from repro.experiments.report import format_table
 
 PROFILES = {
@@ -62,12 +62,60 @@ class DecisionCell:
         }
 
 
+def _decision_cell(setup: ExperimentSetup, spec: tuple) -> DecisionCell:
+    """Measure one (app, slack) cell: cold decision with both estimators."""
+    app, slack, exact_dt, exact_budget = spec
+    profile = PROFILES[app]
+    perf = setup.perf_model(profile, RELOAD_MICRO)
+    lrc = setup.lrc(perf)
+    job = job_with_slack(profile, 0.0, slack, perf.fixed_time(lrc))
+    slack_model = SlackModel(perf=perf, lrc=lrc, deadline=job.deadline)
+
+    approx = ApproximateCostEstimator(slack_model, setup.market, setup.catalog)
+    t0 = time.perf_counter()
+    approx_decision = approx.best(0.0, 1.0)
+    approx_ms = 1000 * (time.perf_counter() - t0)
+
+    exact = ExactCostEstimator(
+        slack_model,
+        setup.market,
+        setup.catalog,
+        dt=exact_dt,
+        max_states=exact_budget,
+    )
+    t0 = time.perf_counter()
+    try:
+        exact_decision = exact.best(0.0, 1.0)
+        exact_ms = 1000 * (time.perf_counter() - t0)
+        if math.isfinite(exact_decision.expected_cost) and exact_decision.expected_cost > 0:
+            dfo = (
+                100.0
+                * abs(approx_decision.expected_cost - exact_decision.expected_cost)
+                / exact_decision.expected_cost
+            )
+        else:
+            dfo = None
+    except (DecisionBudgetExceeded, RecursionError):
+        # Budget exhausted or a pathologically deep failure chain:
+        # both are the paper's "did not finish" outcome.
+        exact_ms = None
+        dfo = None
+    return DecisionCell(
+        app=app,
+        slack_percent=int(round(100 * slack)),
+        approx_ms=approx_ms,
+        exact_ms=exact_ms,
+        dfo_percent=dfo,
+    )
+
+
 def run(
     setup: ExperimentSetup | None = None,
     apps=("sssp", "pagerank", "coloring"),
     slacks=DEFAULT_SLACKS,
     exact_dt: float = 30.0,
     exact_budget: int = 300_000,
+    max_workers: int | None = 1,
 ) -> list[DecisionCell]:
     """Measure one cold decision per (app, slack) with both estimators.
 
@@ -77,56 +125,14 @@ def run(
             every non-trivial slack, so the default keeps a few cells
             finishing to measure the DFO.
         exact_budget: state budget before declaring DNF.
+        max_workers: fan the (app, slack) cells over the shared parallel
+            driver.  Defaults to serial — the cells report wall-clock
+            timings, which co-scheduled workers would distort; raise it
+            when only the decisions (not the timings) matter.
     """
     setup = setup or ExperimentSetup()
-    cells = []
-    for app in apps:
-        profile = PROFILES[app]
-        perf = setup.perf_model(profile, RELOAD_MICRO)
-        lrc = setup.lrc(perf)
-        for slack in slacks:
-            job = job_with_slack(profile, 0.0, slack, perf.fixed_time(lrc))
-            slack_model = SlackModel(perf=perf, lrc=lrc, deadline=job.deadline)
-
-            approx = ApproximateCostEstimator(slack_model, setup.market, setup.catalog)
-            t0 = time.perf_counter()
-            approx_decision = approx.best(0.0, 1.0)
-            approx_ms = 1000 * (time.perf_counter() - t0)
-
-            exact = ExactCostEstimator(
-                slack_model,
-                setup.market,
-                setup.catalog,
-                dt=exact_dt,
-                max_states=exact_budget,
-            )
-            t0 = time.perf_counter()
-            try:
-                exact_decision = exact.best(0.0, 1.0)
-                exact_ms = 1000 * (time.perf_counter() - t0)
-                if math.isfinite(exact_decision.expected_cost) and exact_decision.expected_cost > 0:
-                    dfo = (
-                        100.0
-                        * abs(approx_decision.expected_cost - exact_decision.expected_cost)
-                        / exact_decision.expected_cost
-                    )
-                else:
-                    dfo = None
-            except (DecisionBudgetExceeded, RecursionError):
-                # Budget exhausted or a pathologically deep failure chain:
-                # both are the paper's "did not finish" outcome.
-                exact_ms = None
-                dfo = None
-            cells.append(
-                DecisionCell(
-                    app=app,
-                    slack_percent=int(round(100 * slack)),
-                    approx_ms=approx_ms,
-                    exact_ms=exact_ms,
-                    dfo_percent=dfo,
-                )
-            )
-    return cells
+    specs = [(app, slack, exact_dt, exact_budget) for app in apps for slack in slacks]
+    return parallel_cells(setup, _decision_cell, specs, max_workers=max_workers)
 
 
 def render(cells) -> str:

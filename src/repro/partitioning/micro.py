@@ -103,12 +103,9 @@ class MicroPartitioning:
         micro_part_owner = np.full(self.num_micro_parts, -1, dtype=np.int64)
         # Every vertex of a micro-partition maps to the same macro part by
         # construction; read one representative per micro-partition.
-        seen = np.full(self.num_micro_parts, False)
-        for v in range(self.micro.num_vertices):
-            mp = self.micro.assignment[v]
-            if not seen[mp]:
-                micro_part_owner[mp] = clustering.assignment[v]
-                seen[mp] = True
+        # Empty micro-partitions keep owner -1 (assigned to no worker).
+        present, first_vertex = np.unique(self.micro.assignment, return_index=True)
+        micro_part_owner[present] = clustering.assignment[first_vertex]
         return [
             np.flatnonzero(micro_part_owner == w) for w in range(clustering.num_parts)
         ]

@@ -142,6 +142,22 @@ class TestMicroPartitioner:
         all_parts = sorted(int(p) for parts in owned for p in parts)
         assert all_parts == list(range(64))
 
+    def test_worker_micro_parts_skips_empty_micro_parts(self):
+        from repro.partitioning.base import Partitioning
+        from repro.partitioning.micro import MicroPartitioning
+
+        # Six vertices over micro-partitions {0, 1, 3}; part 2 is empty.
+        micro = Partitioning(assignment=np.array([0, 0, 1, 1, 3, 3]), num_parts=4)
+        quotient = generators.ring_of_cliques(2, 2)  # any 4-vertex graph
+        artefact = MicroPartitioning(
+            micro=micro,
+            quotient=quotient,
+            micro_vertex_weights=np.ones(4),
+        )
+        clustering = Partitioning(assignment=np.array([0, 0, 1, 1, 0, 0]), num_parts=2)
+        owned = artefact.worker_micro_parts(clustering)
+        assert [part.tolist() for part in owned] == [[0, 3], [1]]
+
     def test_invalid_micro_count(self):
         with pytest.raises(ValueError):
             MicroPartitioner(num_micro_parts=0)
