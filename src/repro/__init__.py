@@ -63,6 +63,17 @@ from repro.core import (
     on_demand_baseline_cost,
 )
 from repro.engine import DataStore, PregelEngine
+from repro.exec import (
+    DatastoreWriteFaults,
+    EvictionStormFaults,
+    ExecutionError,
+    ExecutionLifecycle,
+    LifecycleEvent,
+    LifecycleObserver,
+    MetricsObserver,
+    RunResult,
+    SlowBootFaults,
+)
 from repro.experiments import ExperimentSetup
 from repro.runtime import HourglassRuntime, RuntimeResult
 from repro.graph import Graph, GraphBuilder, from_edges, get_dataset
@@ -81,9 +92,18 @@ __all__ = [
     "COLORING_PROFILE",
     "Configuration",
     "DataStore",
+    "DatastoreWriteFaults",
     "DeadlineProtected",
+    "EvictionStormFaults",
+    "ExecutionError",
+    "ExecutionLifecycle",
     "ExecutionSimulator",
     "ExperimentSetup",
+    "LifecycleEvent",
+    "LifecycleObserver",
+    "MetricsObserver",
+    "RunResult",
+    "SlowBootFaults",
     "FennelPartitioner",
     "Graph",
     "GraphBuilder",

@@ -1,6 +1,8 @@
 """Cost accounting: break a simulated run's bill into phases.
 
-Turns a :class:`~repro.core.simulator.SimulationResult`'s event timeline
+Turns a :class:`~repro.exec.events.RunResult`'s event timeline (from
+either the analytic simulator or the engine-backed runtime — both emit
+the unified lifecycle events)
 into a per-phase, per-configuration cost breakdown — where did the
 dollars go: productive computation, setup (boot + load), checkpoints, or
 work doomed by evictions.  Useful for understanding *why* a strategy is
@@ -10,9 +12,9 @@ the "setup" and "doomed" buckets).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
-from repro.core.simulator import SimulationResult
+from repro.exec.events import RunResult
 
 
 @dataclass(frozen=True)
@@ -49,7 +51,7 @@ class CostBreakdown:
 
 
 def breakdown(
-    result: SimulationResult, setup_seconds: dict | None = None
+    result: RunResult, setup_seconds: dict | None = None
 ) -> CostBreakdown:
     """Decompose *result*'s bill using its event timeline.
 

@@ -13,7 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.job import ApplicationProfile, JobSpec
-from repro.core.simulator import ExecutionSimulator, SimulationResult
+from repro.core.simulator import ExecutionSimulator
+from repro.exec.events import RunResult
 
 
 @dataclass(frozen=True)
@@ -80,7 +81,7 @@ class RecurringJobDriver:
         """
         if num_periods < 1:
             raise ValueError("num_periods must be >= 1")
-        results: list[SimulationResult] = []
+        results: list[RunResult] = []
         t = start_time
         for i in range(num_periods):
             release = max(t, start_time + i * self.period)

@@ -5,79 +5,40 @@ provisioning strategy, reproducing exactly what would have happened in
 that market period: the price changes *and* the evictions they imply
 (bid = on-demand price) follow the trace.
 
-The event loop advances between *decision points* — job start, each
-completed checkpoint, each eviction — asking the provisioner for a
-configuration at every one.  Deployments pay boot + load before doing
-useful work; transient deployments checkpoint on their Daly interval;
-evictions lose all progress since the last checkpoint.  Billing
-integrates the market price over every machine-second used (on-demand
-machines at list price).
+The event loop itself lives in the shared execution-lifecycle core
+(:mod:`repro.exec.lifecycle`); this module binds it to an
+:class:`~repro.exec.workmodel.AnalyticWorkModel` — work advances
+analytically along a phase profile, with no engine underneath.
+``SimEvent``/``SimulationResult``/``SimulationError`` are kept as
+aliases of the unified lifecycle types.
 """
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
-
 from repro.cloud.configuration import Configuration
 from repro.cloud.market import SpotMarket
-from repro.core.ckpt_policy import daly_interval
 from repro.core.job import JobSpec
 from repro.core.perfmodel import PerformanceModel, last_resort
-from repro.core.phases import ACCOUNT_RAW, ACCOUNT_TIME, PhaseModel
-from repro.core.provisioner import Provisioner, ProvisioningContext
-from repro.core.slack import SlackModel
+from repro.core.phases import ACCOUNT_TIME, PhaseModel
+from repro.core.provisioner import Provisioner
 from repro.core.warning import NO_WARNING, WarningPolicy
+from repro.exec.errors import SimulationError
+from repro.exec.events import LifecycleEvent, RunResult
+from repro.exec.lifecycle import ExecutionLifecycle
+from repro.exec.workmodel import AnalyticWorkModel
 
-_WORK_EPS = 1e-9
-_MAX_STEPS = 100_000
+#: Deprecated aliases — the simulator's historical event/result types
+#: are now the unified lifecycle types.
+SimEvent = LifecycleEvent
+SimulationResult = RunResult
 
-
-class SimulationError(RuntimeError):
-    """Raised when a run cannot proceed (e.g. trace horizon exceeded)."""
-
-
-@dataclass(frozen=True)
-class SimEvent:
-    """One timeline entry of a simulated run."""
-
-    t: float
-    kind: str  # deploy | eviction | checkpoint | finish | forced-lrc
-    config: str
-    work_left: float
-    cost_so_far: float
-
-
-@dataclass(frozen=True)
-class SimulationResult:
-    """Outcome of one simulated job execution."""
-
-    cost: float
-    finish_time: float
-    deadline: float
-    evictions: int
-    deployments: int
-    checkpoints: int
-    spot_seconds: float
-    on_demand_seconds: float
-    events: tuple
-    provisioner_name: str
-
-    @property
-    def missed_deadline(self) -> bool:
-        """Whether the run finished after its deadline."""
-        return self.finish_time > self.deadline + 1e-6
-
-    @property
-    def makespan(self) -> float:
-        """Wall-clock span from first event to finish."""
-        return self.finish_time - (self.events[0].t if self.events else 0.0)
-
-    def normalized_cost(self, baseline_cost: float) -> float:
-        """Cost relative to the on-demand last-resort run."""
-        if baseline_cost <= 0:
-            raise ValueError("baseline_cost must be positive")
-        return self.cost / baseline_cost
+__all__ = [
+    "ExecutionSimulator",
+    "SimEvent",
+    "SimulationError",
+    "SimulationResult",
+    "on_demand_baseline_cost",
+]
 
 
 def on_demand_baseline_cost(perf: PerformanceModel, lrc: Configuration) -> float:
@@ -109,6 +70,8 @@ class ExecutionSimulator:
             the uniform model consistent, the default) or ``"raw"``
             (naive work fraction; exposes the model-mismatch failure
             mode of footnote 2).
+        observers: :class:`~repro.exec.observers.LifecycleObserver`
+            plug-ins (metrics collection, fault injection).
     """
 
     def __init__(
@@ -122,13 +85,10 @@ class ExecutionSimulator:
         ckpt_interval_scale: float = 1.0,
         phase_model: PhaseModel | None = None,
         work_accounting: str = ACCOUNT_TIME,
+        observers=(),
     ):
         if ckpt_interval_scale <= 0:
             raise ValueError("ckpt_interval_scale must be positive")
-        if work_accounting not in (ACCOUNT_TIME, ACCOUNT_RAW):
-            raise ValueError(
-                f"work_accounting must be '{ACCOUNT_TIME}' or '{ACCOUNT_RAW}'"
-            )
         self.market = market
         self.perf = perf
         self.catalog = tuple(catalog)
@@ -138,177 +98,32 @@ class ExecutionSimulator:
         self.ckpt_interval_scale = ckpt_interval_scale
         self.phases = phase_model or PhaseModel.uniform()
         self.work_accounting = work_accounting
+        self.observers = tuple(observers)
         self.lrc = last_resort(
             self.catalog,
             lambda ref: perf,  # throughput ratios are anchor-independent
         )
+        # Validate eagerly (historical constructor contract).
+        AnalyticWorkModel(perf, work_accounting=work_accounting)
 
     # ------------------------------------------------------------------
     def run(self, job: JobSpec) -> SimulationResult:
         """Simulate *job* to completion; returns the outcome."""
-        slack_model = SlackModel(perf=self.perf, lrc=self.lrc, deadline=job.deadline)
-        self.provisioner.reset()
-
-        t = job.release_time
-        work_left = job.work
-        cost = 0.0
-        config: Configuration | None = None
-        machine_start = 0.0
-        eviction_at: float | None = None
-        evictions = deployments = checkpoints = 0
-        spot_seconds = on_demand_seconds = 0.0
-        events: list[SimEvent] = []
-
-        def record(kind: str, at: float) -> None:
-            if self.record_events:
-                events.append(
-                    SimEvent(
-                        t=at,
-                        kind=kind,
-                        config=config.name if config else "-",
-                        work_left=work_left,
-                        cost_so_far=cost,
-                    )
-                )
-
-        def bill(c: Configuration, t0: float, t1: float) -> float:
-            nonlocal spot_seconds, on_demand_seconds
-            if t1 <= t0:
-                return 0.0
-            if c.is_transient:
-                spot_seconds += (t1 - t0) * c.num_workers
-            else:
-                on_demand_seconds += (t1 - t0) * c.num_workers
-            return self.market.cost(c, t0, t1)
-
-        def reported_work(raw: float) -> float:
-            if self.work_accounting == ACCOUNT_TIME:
-                return self.phases.time_remaining(raw)
-            return raw
-
-        for _ in range(_MAX_STEPS):
-            if work_left <= _WORK_EPS:
-                break
-            self._check_horizon(t)
-            ctx = ProvisioningContext(
-                t=t,
-                work_left=reported_work(work_left),
-                current_config=config,
-                current_uptime=(t - machine_start) if config else 0.0,
-                slack_model=slack_model,
-                market=self.market,
-                catalog=self.catalog,
-            )
-            choice = self.provisioner.select(ctx)
-
-            if config is None or choice != config:
-                # (Re)deploy: pay boot + load before any useful work.
-                config = choice
-                machine_start = t
-                deployments += 1
-                eviction_at = self.market.eviction_time(config, t)
-                setup = self.perf.setup_time(config)
-                record("deploy", t)
-                if eviction_at is not None and eviction_at < t + setup:
-                    cost += bill(config, t, eviction_at)
-                    t = eviction_at
-                    evictions += 1
-                    record("eviction", t)
-                    config = None
-                    continue
-                cost += bill(config, t, t + setup)
-                t += setup
-
-            # One execution segment on the current configuration.
-            exec_time = self.perf.exec_time(config)
-            save_time = self.perf.save_time(config)
-            remaining_run = self.phases.time_remaining(work_left) * exec_time
-            if config.is_transient:
-                mttf = self.market.eviction_model(config).mttf
-                interval = daly_interval(save_time, mttf) * self.ckpt_interval_scale
-                segment = min(remaining_run, interval)
-            else:
-                segment = remaining_run
-            run_ctx = ProvisioningContext(
-                t=t,
-                work_left=reported_work(work_left),
-                current_config=config,
-                current_uptime=t - machine_start,
-                slack_model=slack_model,
-                market=self.market,
-                catalog=self.catalog,
-            )
-            limit = self.provisioner.segment_limit(run_ctx)
-            if limit < segment:
-                segment = max(0.0, limit)
-            if segment <= 0.0 and config.is_transient:
-                # The strategy left no useful time on this deployment;
-                # force a fresh decision (normally the last resort).
-                record("forced-lrc", t)
-                config = None
-                continue
-
-            finishing = segment >= remaining_run - 1e-9
-            segment_end = t + segment
-            save_end = segment_end + save_time
-            self._check_horizon(save_end)
-            if (
-                config.is_transient
-                and eviction_at is not None
-                and eviction_at < save_end
-            ):
-                # Evicted before the checkpoint landed: the segment's
-                # progress is lost and we pay for the doomed run — unless
-                # the provider's warning covered a final save (§9).
-                if self.warning.can_save(save_time):
-                    computed = eviction_at - self.warning.lead_seconds - t
-                    if computed > 0:
-                        work_left = self.phases.advance(
-                            work_left, computed / exec_time
-                        )
-                cost += bill(config, t, eviction_at)
-                t = eviction_at
-                evictions += 1
-                record("eviction", t)
-                if work_left <= _WORK_EPS:
-                    record("finish", t)
-                    break
-                config = None
-                continue
-
-            # Segment completed and state persisted (checkpoint or the
-            # final output write).
-            cost += bill(config, t, save_end)
-            t = save_end
-            work_left = (
-                0.0 if finishing else self.phases.advance(work_left, segment / exec_time)
-            )
-            if finishing:
-                record("finish", t)
-                break
-            checkpoints += 1
-            record("checkpoint", t)
-        else:
-            raise SimulationError("simulation exceeded the step budget")
-
-        if work_left > _WORK_EPS:
-            raise SimulationError("job did not finish (internal error)")
-        return SimulationResult(
-            cost=cost,
-            finish_time=t,
-            deadline=job.deadline,
-            evictions=evictions,
-            deployments=deployments,
-            checkpoints=checkpoints,
-            spot_seconds=spot_seconds,
-            on_demand_seconds=on_demand_seconds,
-            events=tuple(events),
-            provisioner_name=self.provisioner.name,
+        model = AnalyticWorkModel(
+            self.perf,
+            phases=self.phases,
+            work_accounting=self.work_accounting,
+            warning=self.warning,
+            initial_work=job.work,
         )
-
-    def _check_horizon(self, t: float) -> None:
-        if t >= self.market.horizon:
-            raise SimulationError(
-                f"simulation time {t} reached the trace horizon "
-                f"{self.market.horizon}; use a longer trace or an earlier start"
-            )
+        lifecycle = ExecutionLifecycle(
+            market=self.market,
+            catalog=self.catalog,
+            provisioner=self.provisioner,
+            work_model=model,
+            lrc=self.lrc,
+            record_events=self.record_events,
+            ckpt_interval_scale=self.ckpt_interval_scale,
+            observers=self.observers,
+        )
+        return lifecycle.run(job.release_time, job.deadline)

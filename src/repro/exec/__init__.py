@@ -1,0 +1,58 @@
+"""Shared execution-lifecycle core (the paper's Fig 2 loop, reusable).
+
+One decision-point event loop (:class:`ExecutionLifecycle`) drives both
+the analytic trace simulator and the engine-backed runtime; work
+semantics plug in via :class:`WorkModel`, billing via
+:class:`BillingMeter`, and observability / fault injection via
+:class:`LifecycleObserver` hooks.
+"""
+
+from repro.exec.billing import BillingMeter
+from repro.exec.errors import (
+    ExecutionError,
+    HorizonError,
+    SimulationError,
+    StepBudgetError,
+)
+from repro.exec.events import LifecycleEvent, RunResult
+from repro.exec.faults import (
+    DatastoreWriteFaults,
+    EvictionStormFaults,
+    SlowBootFaults,
+)
+from repro.exec.lifecycle import MAX_STEPS, ExecutionLifecycle
+from repro.exec.observers import (
+    CheckpointWritePlan,
+    LifecycleObserver,
+    MetricsObserver,
+)
+from repro.exec.workmodel import (
+    WORK_EPS,
+    AnalyticWorkModel,
+    SegmentPlan,
+    SuperstepWorkModel,
+    WorkModel,
+)
+
+__all__ = [
+    "AnalyticWorkModel",
+    "BillingMeter",
+    "CheckpointWritePlan",
+    "DatastoreWriteFaults",
+    "EvictionStormFaults",
+    "ExecutionError",
+    "ExecutionLifecycle",
+    "HorizonError",
+    "LifecycleEvent",
+    "LifecycleObserver",
+    "MAX_STEPS",
+    "MetricsObserver",
+    "RunResult",
+    "SegmentPlan",
+    "SimulationError",
+    "SlowBootFaults",
+    "StepBudgetError",
+    "SuperstepWorkModel",
+    "WORK_EPS",
+    "WorkModel",
+]

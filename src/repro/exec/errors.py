@@ -1,0 +1,33 @@
+"""Shared error hierarchy for the execution-lifecycle core.
+
+Both execution front-ends — the analytic :class:`ExecutionSimulator`
+and the engine-backed :class:`HourglassRuntime` — drive the same
+lifecycle loop, so they raise the same errors: :class:`ExecutionError`
+for any non-progress condition, with :class:`HorizonError` and
+:class:`StepBudgetError` narrowing the two recoverable-by-caller cases
+(trace too short; runaway decision loop).
+
+``SimulationError`` (historically raised by the simulator) is kept as
+an alias of :class:`ExecutionError`; ``RuntimeError_`` in
+:mod:`repro.runtime.runtime` is the equivalent deprecated alias.
+"""
+
+from __future__ import annotations
+
+
+class ExecutionError(RuntimeError):
+    """Raised when an execution cannot make progress."""
+
+
+class HorizonError(ExecutionError):
+    """The run reached the end of the market trace before finishing."""
+
+
+class StepBudgetError(ExecutionError):
+    """The decision loop exceeded its step budget (runaway strategy)."""
+
+
+#: Deprecated alias — the simulator's historical error type.  All
+#: lifecycle errors are :class:`ExecutionError` subclasses, so existing
+#: ``except SimulationError`` handlers keep working unchanged.
+SimulationError = ExecutionError

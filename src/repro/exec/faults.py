@@ -1,0 +1,168 @@
+"""Fault-injection observers for the execution lifecycle.
+
+Robustness scenarios from the transient-resource literature — flaky
+external datastores, eviction storms, slow boots — implemented as
+:class:`~repro.exec.observers.LifecycleObserver` plug-ins over the
+shared loop, so the same injector exercises both the analytic simulator
+and the engine-backed runtime.  An injector only perturbs the *market
+view* of a run (setup/eviction/write timing); the computation itself
+stays exact, which is what lets tests assert that a battered run still
+produces bit-identical vertex values.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.cloud.configuration import Configuration
+from repro.exec.observers import CheckpointWritePlan, LifecycleObserver
+from repro.utils.validation import check_non_negative, check_positive
+
+
+class SlowBootFaults(LifecycleObserver):
+    """Inflate deployment setup times (degraded boot/image service).
+
+    Args:
+        factor: multiplier on the setup time (>= 1 slows boots down).
+        extra_seconds: flat addition on top of the scaled setup.
+        deployments: indices (0-based, per run) of the deployments to
+            perturb; None = every deployment.
+    """
+
+    def __init__(
+        self,
+        factor: float = 1.0,
+        extra_seconds: float = 0.0,
+        deployments=None,
+    ):
+        check_positive("factor", factor)
+        check_non_negative("extra_seconds", extra_seconds)
+        self.factor = factor
+        self.extra_seconds = extra_seconds
+        self.deployments = None if deployments is None else frozenset(deployments)
+        self._seen = 0
+
+    def on_run_start(self, t: float) -> None:
+        """Reset the per-run deployment counter."""
+        self._seen = 0
+
+    def adjust_setup_time(
+        self, t: float, config: Configuration, setup_seconds: float
+    ) -> float:
+        """Slow down the targeted deployments."""
+        index = self._seen
+        self._seen += 1
+        if self.deployments is not None and index not in self.deployments:
+            return setup_seconds
+        return setup_seconds * self.factor + self.extra_seconds
+
+
+class EvictionStormFaults(LifecycleObserver):
+    """Force transient deployments to be evicted after a fixed uptime.
+
+    Models a market period far harsher than the trace: each targeted
+    transient deployment is reclaimed ``uptime_seconds`` after it
+    starts (or earlier, if the trace already evicts it).  On-demand
+    deployments are never touched — the last resort stays a last
+    resort, which is exactly the guarantee the storm tests probe.
+
+    Args:
+        uptime_seconds: forced time-to-eviction per deployment.
+        max_evictions: stop injecting after this many transient
+            deployments (None = every one).
+    """
+
+    def __init__(self, uptime_seconds: float, max_evictions: int | None = None):
+        check_positive("uptime_seconds", uptime_seconds)
+        if max_evictions is not None and max_evictions < 0:
+            raise ValueError("max_evictions must be >= 0")
+        self.uptime_seconds = uptime_seconds
+        self.max_evictions = max_evictions
+        self.forced = 0
+
+    def on_run_start(self, t: float) -> None:
+        """Reset the per-run injection counter."""
+        self.forced = 0
+
+    def adjust_eviction_time(
+        self, t: float, config: Configuration, eviction_at: float | None
+    ) -> float | None:
+        """Schedule the forced eviction for a transient deployment."""
+        if not config.is_transient:
+            return eviction_at
+        if self.max_evictions is not None and self.forced >= self.max_evictions:
+            return eviction_at
+        self.forced += 1
+        forced_at = t + self.uptime_seconds
+        if eviction_at is None:
+            return forced_at
+        return min(eviction_at, forced_at)
+
+
+class DatastoreWriteFaults(LifecycleObserver):
+    """Fail selected checkpoint writes, with retry/backoff timing.
+
+    The targeted write's first ``failures_per_write`` attempts fail;
+    each failed attempt costs the full write time plus an exponential
+    backoff wait before the retry.  If the failures exceed the retry
+    budget the write is abandoned: the run continues (the state lives
+    on in deployment memory) but the rollback point stays at the
+    *previous* checkpoint — a later eviction recovers from there.
+
+    Args:
+        fail_indices: 0-based indices (per run) of checkpoint writes to
+            target; the final output write is never targeted.
+        failures_per_write: failed attempts per targeted write
+            (``math.inf`` = the write never succeeds).
+        retries: retry budget after the first attempt.
+        backoff_seconds: wait before the first retry.
+        backoff_factor: multiplier on the wait per further retry.
+    """
+
+    def __init__(
+        self,
+        fail_indices,
+        failures_per_write: float = math.inf,
+        retries: int = 0,
+        backoff_seconds: float = 5.0,
+        backoff_factor: float = 2.0,
+    ):
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        if failures_per_write < 1:
+            raise ValueError("failures_per_write must be >= 1")
+        check_non_negative("backoff_seconds", backoff_seconds)
+        check_positive("backoff_factor", backoff_factor)
+        self.fail_indices = frozenset(fail_indices)
+        self.failures_per_write = failures_per_write
+        self.retries = retries
+        self.backoff_seconds = backoff_seconds
+        self.backoff_factor = backoff_factor
+        self.injected: list[CheckpointWritePlan] = []
+
+    def on_run_start(self, t: float) -> None:
+        """Reset the per-run injection log."""
+        self.injected = []
+
+    def plan_checkpoint_write(
+        self, t: float, config: Configuration, save_seconds: float, index: int
+    ) -> CheckpointWritePlan | None:
+        """Fault the targeted writes; leave the rest untouched."""
+        if index not in self.fail_indices:
+            return None
+        allowed = self.retries + 1
+        success = self.failures_per_write < allowed
+        attempts = (
+            int(self.failures_per_write) + 1 if success else allowed
+        )
+        backoff = sum(
+            self.backoff_seconds * self.backoff_factor**i
+            for i in range(attempts - 1)
+        )
+        plan = CheckpointWritePlan(
+            seconds=attempts * save_seconds + backoff,
+            success=success,
+            attempts=attempts,
+        )
+        self.injected.append(plan)
+        return plan

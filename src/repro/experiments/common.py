@@ -43,6 +43,7 @@ from repro.core.perfmodel import (
 )
 from repro.core.provisioner import HourglassProvisioner, Provisioner
 from repro.core.simulator import ExecutionSimulator, on_demand_baseline_cost
+from repro.exec.events import RunResult
 from repro.utils.rng import derive_rng
 from repro.utils.units import HOURS
 
@@ -179,7 +180,7 @@ def sweep_strategy(
     deployments = 0
     for i, start in enumerate(starts):
         job = job_with_slack(profile, float(start), slack_fraction, deadline_fixed)
-        result = sim.run(job)
+        result: RunResult = sim.run(job)
         costs[i] = result.cost + offline_cost
         missed += result.missed_deadline
         evictions += result.evictions

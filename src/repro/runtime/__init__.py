@@ -2,8 +2,10 @@
 
 from repro.runtime.mechmodel import MechanisticPerformanceModel
 from repro.runtime.runtime import HourglassRuntime, RuntimeResult
+from repro.runtime.workmodel import EngineWorkModel
 
 __all__ = [
+    "EngineWorkModel",
     "HourglassRuntime",
     "MechanisticPerformanceModel",
     "RuntimeResult",

@@ -16,65 +16,44 @@ This is the paper's Fig 2 loop with every component real:
   :class:`~repro.runtime.mechmodel.MechanisticPerformanceModel`, and the
   bill integrates market prices over every machine-second.
 
-The result carries both the *systems* outcome (cost, deadline,
-evictions) and the *computation* outcome (the vertex values), letting
-tests assert that a job battered by evictions still produces exactly
-the undisturbed answer.
+The decision loop itself is the shared execution-lifecycle core
+(:mod:`repro.exec.lifecycle`); this module binds it to an
+:class:`~repro.runtime.workmodel.EngineWorkModel`, so the runtime and
+the analytic simulator run the *same* deploy/checkpoint/evict/bill
+logic.  The result carries both the *systems* outcome (cost, deadline,
+evictions, spot/on-demand machine-seconds) and the *computation*
+outcome (the vertex values), letting tests assert that a job battered
+by evictions still produces exactly the undisturbed answer.
+
+``RuntimeEvent``/``RuntimeResult`` are kept as aliases of the unified
+lifecycle types; ``RuntimeError_`` is a deprecated alias of
+:class:`~repro.exec.errors.ExecutionError`.
 """
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass
-
 from repro.cloud.configuration import Configuration
 from repro.cloud.market import SpotMarket
-from repro.core.ckpt_policy import daly_interval
-from repro.core.provisioner import Provisioner, ProvisioningContext
-from repro.core.slack import SlackModel
+from repro.core.provisioner import Provisioner
 from repro.engine.checkpoint import CheckpointManager
 from repro.engine.datastore import DataStore
 from repro.engine.engine import PregelEngine
 from repro.engine.loader import MicroLoader
+from repro.exec.errors import ExecutionError
+from repro.exec.events import LifecycleEvent, RunResult
+from repro.exec.lifecycle import ExecutionLifecycle
 from repro.graph.graph import Graph
 from repro.partitioning.micro import MicroPartitioner, MicroPartitioning
 from repro.runtime.mechmodel import MechanisticPerformanceModel
+from repro.runtime.workmodel import EngineWorkModel
 
-_MAX_STEPS = 100_000
+#: Deprecated aliases — the runtime's historical event/result/error
+#: types are now the unified lifecycle types.
+RuntimeEvent = LifecycleEvent
+RuntimeResult = RunResult
+RuntimeError_ = ExecutionError
 
-
-class RuntimeError_(RuntimeError):
-    """Raised when the runtime cannot make progress."""
-
-
-@dataclass(frozen=True)
-class RuntimeEvent:
-    """One timeline entry: (time, kind, config, superstep)."""
-
-    t: float
-    kind: str  # deploy | eviction | checkpoint | finish
-    config: str
-    superstep: int
-
-
-@dataclass(frozen=True)
-class RuntimeResult:
-    """Outcome of one end-to-end execution."""
-
-    values: dict
-    cost: float
-    finish_time: float
-    deadline: float
-    evictions: int
-    deployments: int
-    checkpoints: int
-    supersteps: int
-    events: tuple = ()
-
-    @property
-    def missed_deadline(self) -> bool:
-        """Whether the run finished after its deadline."""
-        return self.finish_time > self.deadline + 1e-6
+__all__ = ["HourglassRuntime", "RuntimeError_", "RuntimeEvent", "RuntimeResult"]
 
 
 class HourglassRuntime:
@@ -95,6 +74,8 @@ class HourglassRuntime:
             volumes (a repro-scale graph runs in simulated seconds,
             where no eviction could ever land; scaling makes the market
             matter while the computation stays exact).
+        observers: :class:`~repro.exec.observers.LifecycleObserver`
+            plug-ins (metrics collection, fault injection).
     """
 
     def __init__(
@@ -109,6 +90,7 @@ class HourglassRuntime:
         seed=None,
         time_scale: float = 1.0,
         data_scale: float = 1.0,
+        observers=(),
     ):
         self.graph = graph
         self.program_factory = program_factory
@@ -117,6 +99,7 @@ class HourglassRuntime:
         self.provisioner = provisioner
         self.datastore = datastore or DataStore()
         self.seed = seed
+        self.observers = tuple(observers)
 
         # Offline phase: micro-partition once (Fig 2 step 1).
         self.artefact: MicroPartitioning = MicroPartitioner(
@@ -160,164 +143,21 @@ class HourglassRuntime:
         """Run the job between *release_time* and *deadline*."""
         if deadline <= release_time:
             raise ValueError("deadline must be after release_time")
-        slack_model = SlackModel(perf=self.perf, lrc=self.lrc, deadline=deadline)
-        self.provisioner.reset()
         job_id = f"runtime-{release_time:.0f}"
-        checkpoints = CheckpointManager(self.datastore, job_id)
-
-        t = release_time
-        cost = 0.0
-        supersteps_done = 0
-        events: list[RuntimeEvent] = []
-
-        def record(kind: str, at: float) -> None:
-            events.append(
-                RuntimeEvent(
-                    t=at,
-                    kind=kind,
-                    config=config.name if config else "-",
-                    superstep=supersteps_done,
-                )
-            )
-        engine: PregelEngine | None = None
-        config: Configuration | None = None
-        machine_start = 0.0
-        eviction_at: float | None = None
-        evictions = deployments = checkpoint_count = 0
-
-        for _ in range(_MAX_STEPS):
-            work_left = 1.0 - self.perf.work_fraction_done(supersteps_done)
-            finished = engine is not None and not self._has_work(engine)
-            if finished:
-                break
-            if t >= self.market.horizon:
-                raise RuntimeError_("trace horizon reached; use a longer trace")
-
-            ctx = ProvisioningContext(
-                t=t,
-                work_left=max(work_left, 0.0),
-                current_config=config,
-                current_uptime=(t - machine_start) if config else 0.0,
-                slack_model=slack_model,
-                market=self.market,
-                catalog=self.catalog,
-            )
-            choice = self.provisioner.select(ctx)
-
-            if engine is None or choice != config:
-                # (Re)deploy: cluster shards, load, restore checkpoint.
-                config = choice
-                machine_start = t
-                deployments += 1
-                eviction_at = self.market.eviction_time(config, t)
-                setup = self.perf.setup_time(config)
-                record("deploy", t)
-                if eviction_at is not None and eviction_at < t + setup:
-                    cost += self.market.cost(config, t, eviction_at)
-                    t = eviction_at
-                    evictions += 1
-                    record("eviction", t)
-                    config = None
-                    engine = None
-                    continue
-                load = self.loader.load(self.graph, config.num_workers, seed=self.seed)
-                engine = PregelEngine(
-                    self.graph, self.program_factory(), load.partitioning
-                )
-                if checkpoints.latest() is not None:
-                    checkpoints.load_into(engine)
-                supersteps_done = engine.superstep
-                cost += self.market.cost(config, t, t + setup)
-                t += setup
-
-            # Run supersteps until checkpoint due / limit / completion,
-            # accumulating calibrated simulated time.
-            save_time = self.perf.save_time(config)
-            if config.is_transient:
-                mttf = self.market.eviction_model(config).mttf
-                budget = daly_interval(save_time, mttf)
-            else:
-                budget = math.inf
-            limit = self.provisioner.segment_limit(ctx)
-            if limit < budget:
-                budget = max(0.0, limit)
-
-            elapsed = 0.0
-            ran_any = False
-            while self._has_work(engine):
-                step_time = self._step_seconds(engine, config)
-                if ran_any and elapsed + step_time > budget:
-                    break
-                engine.step()
-                supersteps_done = engine.superstep
-                elapsed += step_time
-                ran_any = True
-                if elapsed >= budget:
-                    break
-            segment_end = t + elapsed
-            save_end = segment_end + save_time
-            if save_end >= self.market.horizon:
-                raise RuntimeError_("trace horizon reached; use a longer trace")
-
-            if (
-                config.is_transient
-                and eviction_at is not None
-                and eviction_at < save_end
-            ):
-                # Evicted before persisting: roll back to the last
-                # checkpoint (or scratch) — real lost work.
-                cost += self.market.cost(config, t, eviction_at)
-                t = eviction_at
-                evictions += 1
-                record("eviction", t)
-                engine = None
-                config = None
-                supersteps_done = self._checkpointed_superstep(checkpoints)
-                continue
-
-            cost += self.market.cost(config, t, save_end)
-            t = save_end
-            if self._has_work(engine):
-                checkpoints.save(engine, num_writers=config.num_workers)
-                checkpoint_count += 1
-                record("checkpoint", t)
-            else:
-                record("finish", t)
-                break
-        else:
-            raise RuntimeError_("runtime exceeded the step budget")
-
-        if engine is None or self._has_work(engine):
-            raise RuntimeError_("job did not finish (internal error)")
-        return RuntimeResult(
-            values=engine.values(),
-            cost=cost,
-            finish_time=t,
-            deadline=deadline,
-            evictions=evictions,
-            deployments=deployments,
-            checkpoints=checkpoint_count,
-            supersteps=engine.superstep,
-            events=tuple(events),
+        model = EngineWorkModel(
+            graph=self.graph,
+            program_factory=self.program_factory,
+            loader=self.loader,
+            perf=self.perf,
+            checkpoints=CheckpointManager(self.datastore, job_id),
+            seed=self.seed,
         )
-
-    # ------------------------------------------------------------------
-    @staticmethod
-    def _has_work(engine: PregelEngine) -> bool:
-        return engine.has_work()
-
-    def _step_seconds(self, engine: PregelEngine, config: Configuration) -> float:
-        """Predicted cost of the *next* superstep on *config*.
-
-        Uses the calibration's statistics for the same superstep index
-        (falling back to the last calibrated superstep for
-        data-dependent overruns).
-        """
-        stats = self.perf.calibration.stats
-        index = min(engine.superstep, len(stats) - 1)
-        return self.perf.superstep_seconds(stats[index], config)
-
-    @staticmethod
-    def _checkpointed_superstep(checkpoints: CheckpointManager) -> int:
-        latest = checkpoints.latest()
-        return latest.superstep if latest is not None else 0
+        lifecycle = ExecutionLifecycle(
+            market=self.market,
+            catalog=self.catalog,
+            provisioner=self.provisioner,
+            work_model=model,
+            lrc=self.lrc,
+            observers=self.observers,
+        )
+        return lifecycle.run(release_time, deadline)
