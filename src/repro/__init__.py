@@ -16,6 +16,8 @@ substrate it depends on:
   eviction models and a replayable market simulator;
 * :mod:`repro.core` — the Hourglass provisioner, expected-cost
   machinery, baselines, and the trace-driven execution simulator;
+* :mod:`repro.service` — the multi-tenant planning service: shared
+  estimator caches, market snapshots, and batched decisions;
 * :mod:`repro.experiments` — regenerators for every evaluation figure.
 
 Quickstart::
@@ -76,6 +78,13 @@ from repro.exec import (
 )
 from repro.experiments import ExperimentSetup
 from repro.runtime import HourglassRuntime, RuntimeResult
+from repro.service import (
+    PlanError,
+    PlanningService,
+    PlanRequest,
+    PlanResult,
+    ServicePlannedProvisioner,
+)
 from repro.graph import Graph, GraphBuilder, from_edges, get_dataset
 from repro.partitioning import (
     FennelPartitioner,
@@ -120,6 +129,11 @@ __all__ = [
     "PAGERANK_PROFILE",
     "Partitioning",
     "PerformanceModel",
+    "PlanError",
+    "PlanningService",
+    "PlanRequest",
+    "PlanResult",
+    "ServicePlannedProvisioner",
     "PregelEngine",
     "PriceTrace",
     "ProteusProvisioner",

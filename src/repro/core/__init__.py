@@ -47,7 +47,12 @@ from repro.core.provisioner import (
     Provisioner,
     ProvisioningContext,
 )
-from repro.core.recurring import RecurringJobDriver, RecurringOutcome
+from repro.core.recurring import (
+    InterleavedRecurringDriver,
+    RecurringJobDriver,
+    RecurringJobSpec,
+    RecurringOutcome,
+)
 from repro.core.simulator import (
     ExecutionSimulator,
     SimEvent,
@@ -98,7 +103,9 @@ __all__ = [
     "ProteusProvisioner",
     "RELOAD_FULL",
     "RELOAD_MICRO",
+    "InterleavedRecurringDriver",
     "RecurringJobDriver",
+    "RecurringJobSpec",
     "RecurringOutcome",
     "SSSP_PROFILE",
     "SimEvent",

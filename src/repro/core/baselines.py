@@ -14,6 +14,12 @@
   another eviction is gone, latch onto the last-resort configuration.
 * :class:`HourglassNaiveProvisioner` — Fig 1's "Hourglass Naive":
   SpotOn followed by the DP fallback.
+
+These classes are the *strategy implementations*; the decision path
+resolves them by name through the planning service
+(``PlanningService.provisioner("spoton")`` etc. — see
+:mod:`repro.service.strategies`).  They keep no DP state, so the
+service hands out fresh instances rather than caching them.
 """
 
 from __future__ import annotations

@@ -87,6 +87,44 @@ class Decision:
     work_left: float
 
 
+@dataclass(frozen=True)
+class CacheStats:
+    """Cumulative memo-table statistics of one approximate estimator.
+
+    Attributes:
+        hits: state lookups answered from the memo.
+        misses: state lookups that had to be computed.
+        invalidations: times a non-empty memo was dropped (price drift).
+        entries: states currently memoised.
+        epoch: price-drift epoch — bumped whenever the decision-time
+            rates drift past ``price_tolerance``; all current entries
+            were computed within this epoch.
+    """
+
+    hits: int
+    misses: int
+    invalidations: int
+    entries: int
+    epoch: int
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups answered from the memo."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> dict:
+        """Plain-dict view for reports."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": round(self.hit_rate, 3),
+            "invalidations": self.invalidations,
+            "entries": self.entries,
+            "epoch": self.epoch,
+        }
+
+
 class _EstimatorBase:
     """Shared plumbing: candidate enumeration and market snapshots."""
 
@@ -99,10 +137,18 @@ class _EstimatorBase:
         self._rates: dict[str, float] = {}
         self._now = None
 
-    def snapshot(self, t: float) -> None:
-        """Freeze market prices at decision time *t* for this evaluation."""
+    def snapshot(self, t: float, rates=None) -> None:
+        """Freeze market prices at decision time *t* for this evaluation.
+
+        Args:
+            rates: optional precomputed ``market.config_rates(catalog,
+                t)`` array — the planning service shares one snapshot
+                across the concurrent jobs deciding at *t* instead of
+                re-querying the market per estimator.
+        """
         self._now = t
-        rates = self.market.config_rates(self.catalog, t)
+        if rates is None:
+            rates = self.market.config_rates(self.catalog, t)
         self._rates = {c.name: float(r) for c, r in zip(self.catalog, rates)}
 
     def _rate(self, config: Configuration) -> float:
@@ -218,6 +264,10 @@ class _ApproximateBase(_EstimatorBase):
         self._memo: dict = {}
         self._lrc = slack_model.lrc
         self._grids_tuned = False
+        self._memo_hits = 0
+        self._memo_misses = 0
+        self._memo_invalidations = 0
+        self.price_epoch = 0
 
     def _tune_grids(self, slack: float) -> None:
         """Adapt bucket sizes to the problem scale on the first decision.
@@ -235,10 +285,15 @@ class _ApproximateBase(_EstimatorBase):
             self.slack_grid = max(5.0, slack / 50.0)
         self._grids_tuned = True
 
-    def snapshot(self, t: float) -> None:
-        """Freeze market prices at decision time *t*."""
+    def snapshot(self, t: float, rates=None) -> None:
+        """Freeze market prices at decision time *t*.
+
+        The memo survives while the rates stay within
+        ``price_tolerance`` of the previous snapshot; a larger drift
+        starts a new price epoch and drops it (see :meth:`invalidate`).
+        """
         old = dict(self._rates)
-        super().snapshot(t)
+        super().snapshot(t, rates)
         if old:
             drift = max(
                 abs(self._rates[name] / old[name] - 1.0) if old[name] > 0 else 1.0
@@ -246,7 +301,90 @@ class _ApproximateBase(_EstimatorBase):
             )
             if drift <= self.price_tolerance:
                 return
-        self._memo.clear()
+        self.invalidate()
+
+    def invalidate(self) -> None:
+        """Start a new price epoch: drop every memoised state.
+
+        This is the ``price_tolerance`` drift rule made explicit: all
+        memo entries belong to one epoch, and a snapshot drifting past
+        the tolerance retires the whole epoch at once.
+        """
+        if self._memo:
+            self._memo_invalidations += 1
+            self._memo.clear()
+        self.price_epoch += 1
+
+    def cache_stats(self) -> CacheStats:
+        """Cumulative memo statistics (hits, misses, invalidations)."""
+        return CacheStats(
+            hits=self._memo_hits,
+            misses=self._memo_misses,
+            invalidations=self._memo_invalidations,
+            entries=len(self._memo),
+            epoch=self.price_epoch,
+        )
+
+    # ------------------------------------------------------------------
+    # Slack-space entry points
+    # ------------------------------------------------------------------
+    # The §5.3 state only depends on absolute time through the slack, so
+    # the whole evaluation can be driven with a caller-supplied slack.
+    # This is what lets the planning service share one warm estimator
+    # across jobs with *different deadlines*: each job converts
+    # (t, work) to slack with its own slack model and queries here.
+    def _cost_at_slack(self, config, slack, work_left, running) -> float:
+        raise NotImplementedError
+
+    def best_at_slack(
+        self,
+        slack: float,
+        t: float,
+        work_left: float,
+        current: Configuration | None = None,
+        uptime: float = 0.0,
+        rates=None,
+    ) -> Decision:
+        """Minimise EC over the catalogue at an explicit slack value.
+
+        Identical to :meth:`best` when ``slack == slack_model.slack(t,
+        work_left)`` (which is how :meth:`best` is implemented); *t* is
+        still needed for the market snapshot and spot usability.
+        """
+        self.snapshot(t, rates)
+        best_config = None
+        best_cost = math.inf
+        with self._evaluation_guard():
+            for config in self.catalog:
+                if config.is_transient and not self.market.usable_at(config, t):
+                    continue
+                running = current is not None and config == current
+                cost = self._cost_at_slack(config, slack, work_left, running)
+                if cost < best_cost:
+                    best_cost, best_config = cost, config
+            if best_config is None:
+                # Degenerate: nothing feasible; fall back to the last
+                # resort (see _EstimatorBase.best).
+                best_config = self.slack.lrc
+                best_cost = self._cost_at_slack(best_config, slack, work_left, False)
+        return Decision(
+            config=best_config,
+            expected_cost=best_cost,
+            evaluated_at=t,
+            work_left=work_left,
+        )
+
+    def best(
+        self,
+        t: float,
+        work_left: float,
+        current: Configuration | None = None,
+        uptime: float = 0.0,
+    ) -> Decision:
+        """Minimise EC over the catalogue; the returned config is cbest."""
+        return self.best_at_slack(
+            self.slack.slack(t, work_left), t, work_left, current, uptime
+        )
 
 
 class ApproximateCostEstimator(_ApproximateBase):
@@ -324,22 +462,24 @@ class ApproximateCostEstimator(_ApproximateBase):
         self._rate_arr.append(self._rates.get(config.name, math.nan))
         return idx
 
-    def snapshot(self, t: float) -> None:
+    def snapshot(self, t: float, rates=None) -> None:
         """Freeze market prices at decision time *t*."""
-        super().snapshot(t)
-        rates = self._rates
-        self._rate_arr = [rates.get(c.name, math.nan) for c in self._table_cfgs]
+        super().snapshot(t, rates)
+        table_rates = self._rates
+        self._rate_arr = [table_rates.get(c.name, math.nan) for c in self._table_cfgs]
 
     def config_cost(self, config, t, work_left, uptime, already_running) -> float:
         # The DP lives in slack space; absolute time and machine uptime
         # are dropped (memoryless eviction approximation).
         """EC(t, w)|config under this estimator's formulation."""
         slack = self.slack.slack(t, work_left)
+        return self._cost_at_slack(config, slack, work_left, already_running)
+
+    def _cost_at_slack(self, config, slack, work_left, running) -> float:
+        """EC at an explicit slack (the service-shared query path)."""
         if not self._grids_tuned:
             self._tune_grids(max(slack, 60.0))
-        return self._evaluate(
-            self._ensure_cfg(config), slack, work_left, already_running, 0
-        )
+        return self._evaluate(self._ensure_cfg(config), slack, work_left, running, 0)
 
     # ------------------------------------------------------------------
     # The iterative DP
@@ -359,10 +499,13 @@ class ApproximateCostEstimator(_ApproximateBase):
         slack_grid = self.slack_grid
         work_grid = self.work_grid
         inf = math.inf
+        hits = misses = 0
         root_key = (ci, int(slack / slack_grid), int(work_left / work_grid), running, depth)
         cached = memo.get(root_key)
         if cached is not None:
+            self._memo_hits += 1
             return cached
+        misses += 1
         memo[root_key] = inf  # cycle guard
         stack = [(root_key, self._transition(ci, slack, work_left, running, depth))]
         retval = None
@@ -388,11 +531,15 @@ class ApproximateCostEstimator(_ApproximateBase):
             )
             cached = memo.get(ckey)
             if cached is not None:
+                hits += 1
                 retval = cached
                 continue
+            misses += 1
             memo[ckey] = inf  # cycle guard
             stack.append((ckey, self._transition(cci, cslack, cwork, crunning, cdepth)))
             retval = None
+        self._memo_hits += hits
+        self._memo_misses += misses
         return memo[root_key]
 
     def _transition(self, ci, slack, work_left, running, depth):
@@ -498,9 +645,13 @@ class RecursiveApproximateCostEstimator(_ApproximateBase):
         # uptime are dropped (memoryless eviction approximation).
         """EC(t, w)|config under this estimator's formulation."""
         slack = self.slack.slack(t, work_left)
+        return self._cost_at_slack(config, slack, work_left, already_running)
+
+    def _cost_at_slack(self, config, slack, work_left, running) -> float:
+        """EC at an explicit slack (the service-shared query path)."""
         if not self._grids_tuned:
             self._tune_grids(max(slack, 60.0))
-        return self._cost(config, slack, work_left, already_running, 0)
+        return self._cost(config, slack, work_left, running, 0)
 
     def _cost(self, config, slack, work_left, running, fail_depth) -> float:
         if work_left <= _WORK_EPS:
@@ -514,7 +665,9 @@ class RecursiveApproximateCostEstimator(_ApproximateBase):
         )
         cached = self._memo.get(key)
         if cached is not None:
+            self._memo_hits += 1
             return cached
+        self._memo_misses += 1
         self._memo[key] = math.inf  # cycle guard
         cost = self._cost_uncached(config, slack, work_left, running, fail_depth)
         self._memo[key] = cost
@@ -620,9 +773,9 @@ class ExactCostEstimator(_EstimatorBase):
     def _evaluation_guard(self):
         return _recursion_headroom()
 
-    def snapshot(self, t: float) -> None:
+    def snapshot(self, t: float, rates=None) -> None:
         """Freeze market prices at decision time *t*."""
-        super().snapshot(t)
+        super().snapshot(t, rates)
         self._memo.clear()
         self._states = 0
 

@@ -41,7 +41,7 @@ class ProvisioningContext:
     current_uptime: float
     slack_model: SlackModel
     market: SpotMarket
-    catalog: tuple
+    catalog: tuple[Configuration, ...]
 
     @property
     def slack(self) -> float:

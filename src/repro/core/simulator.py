@@ -58,7 +58,14 @@ class ExecutionSimulator:
         market: the replayed spot market.
         perf: performance model for the job's application.
         catalog: candidate configurations (must include one on-demand).
-        provisioner: the strategy under test.
+        provisioner: the strategy under test — a
+            :class:`~repro.core.provisioner.Provisioner` instance, or a
+            strategy *name* resolved through a planning service
+            (``service`` if given, else a private one over *market*).
+        service: optional shared
+            :class:`~repro.service.planning.PlanningService`; lets many
+            simulators plan from the same warm caches.  Only consulted
+            when *provisioner* is a strategy name.
         record_events: keep the full event timeline (memory vs detail).
         warning: provider eviction-warning contract (§9 extension); with
             a lead covering ``t_save``, evictions keep the progress made
@@ -79,19 +86,27 @@ class ExecutionSimulator:
         market: SpotMarket,
         perf: PerformanceModel,
         catalog,
-        provisioner: Provisioner,
+        provisioner: Provisioner | str,
         record_events: bool = True,
         warning: WarningPolicy = NO_WARNING,
         ckpt_interval_scale: float = 1.0,
         phase_model: PhaseModel | None = None,
         work_accounting: str = ACCOUNT_TIME,
         observers=(),
+        service=None,
     ):
         if ckpt_interval_scale <= 0:
             raise ValueError("ckpt_interval_scale must be positive")
         self.market = market
         self.perf = perf
         self.catalog = tuple(catalog)
+        if isinstance(provisioner, str):
+            from repro.service.planning import PlanningService
+
+            if service is None:
+                service = PlanningService(market, warning=warning)
+            provisioner = service.provisioner(provisioner)
+        self.service = service
         self.provisioner = provisioner
         self.record_events = record_events
         self.warning = warning

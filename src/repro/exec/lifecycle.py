@@ -125,6 +125,13 @@ class ExecutionLifecycle:
                 break
             self._check_horizon(t)
             choice = self.provisioner.select(make_ctx())
+            if self.observers:
+                # Service-routed strategies publish per-decision
+                # telemetry; legacy provisioners have none to publish.
+                telemetry = getattr(self.provisioner, "last_telemetry", None)
+                if telemetry is not None:
+                    for observer in self.observers:
+                        observer.on_decision(t, telemetry)
 
             if config is None or choice != config:
                 # (Re)deploy: pay boot + load before any useful work.

@@ -46,6 +46,14 @@ class LifecycleObserver:
     def on_run_start(self, t: float) -> None:
         """A job execution begins at time *t*."""
 
+    def on_decision(self, t: float, telemetry) -> None:
+        """The provisioner answered a decision point.
+
+        Only strategies routed through the planning service publish
+        *telemetry* (a :class:`~repro.service.planning.PlanTelemetry`);
+        legacy provisioners raise no ``on_decision`` at all.
+        """
+
     def on_deploy(self, t: float, config: Configuration, setup_seconds: float) -> None:
         """A (re)deployment of *config* starts its setup."""
 
@@ -117,6 +125,7 @@ class MetricsObserver(LifecycleObserver):
         self.timeline: list = []
         self.started_at: float | None = None
         self.finished_at: float | None = None
+        self.decision_seconds = 0.0
 
     def _bump(self, key: str) -> None:
         self.counters[key] = self.counters.get(key, 0) + 1
@@ -131,6 +140,29 @@ class MetricsObserver(LifecycleObserver):
         self.timeline = []
         self.started_at = t
         self.finished_at = None
+        self.decision_seconds = 0.0
+
+    def on_decision(self, t: float, telemetry) -> None:
+        """Accumulate planning-service decision telemetry.
+
+        Counts decisions (split warm/cold by estimator reuse), memo
+        hits/misses, snapshot reuses, and the wall-clock seconds the
+        decisions cost — real time, not simulated time, so it reports
+        what a deployment would actually spend planning.
+        """
+        self._bump("decisions")
+        self._bump(
+            "warm_decisions" if telemetry.estimator_reused else "cold_decisions"
+        )
+        if telemetry.snapshot_reused:
+            self._bump("snapshot_reuses")
+        self.counters["memo_hits"] = (
+            self.counters.get("memo_hits", 0) + telemetry.memo_hits
+        )
+        self.counters["memo_misses"] = (
+            self.counters.get("memo_misses", 0) + telemetry.memo_misses
+        )
+        self.decision_seconds += telemetry.latency_s
 
     def on_deploy(self, t: float, config: Configuration, setup_seconds: float) -> None:
         """Count the deployment and accumulate its setup time."""
@@ -165,6 +197,8 @@ class MetricsObserver(LifecycleObserver):
         """Counters + timers + wall span as one flat dict."""
         out = dict(self.counters)
         out.update(self.timers.as_dict())
+        if self.decision_seconds:
+            out["decision_seconds"] = self.decision_seconds
         if self.started_at is not None and self.finished_at is not None:
             out["makespan_seconds"] = self.finished_at - self.started_at
         return out

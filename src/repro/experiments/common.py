@@ -34,6 +34,7 @@ from repro.core.baselines import (
     ProteusProvisioner,
     SpotOnProvisioner,
 )
+from repro.service.planning import PlanningService
 from repro.core.job import ApplicationProfile, job_with_slack
 from repro.core.perfmodel import (
     RELOAD_FULL,
@@ -92,6 +93,18 @@ class ExperimentSetup:
         )
         self.catalog = tuple(default_catalog())
         self.reload_mode = reload_mode
+        self._service: PlanningService | None = None
+
+    @property
+    def service(self) -> PlanningService:
+        """This setup's shared planning service (built lazily).
+
+        One service per setup: every figure harness resolving strategies
+        through it shares warm estimator state and market snapshots.
+        """
+        if self._service is None:
+            self._service = PlanningService(self.market)
+        return self._service
 
     def perf_model(
         self, profile: ApplicationProfile, reload_mode: str | None = None
@@ -135,10 +148,11 @@ def sweep_strategy(
     setup: ExperimentSetup,
     profile: ApplicationProfile,
     slack_fraction: float,
-    provisioner: Provisioner,
+    provisioner: Provisioner | str,
     num_simulations: int = 40,
     reload_mode: str | None = None,
     offline_cost: float = 0.0,
+    service: PlanningService | None = None,
 ) -> CellResult:
     """Run one cell: many random-start simulations of one strategy.
 
@@ -155,7 +169,11 @@ def sweep_strategy(
             to micro for ``hourglass*`` strategies, full otherwise).
         offline_cost: per-run offline (partitioning) dollars added to
             each simulation's cost (Fig 7's METIS-vs-µMETIS ablation).
+        service: planning service resolving *provisioner* when it is a
+            strategy name (defaults to the setup's shared service).
     """
+    if isinstance(provisioner, str):
+        provisioner = (service or setup.service).provisioner(provisioner)
     if reload_mode is None:
         reload_mode = (
             RELOAD_MICRO if provisioner.name.startswith("hourglass") else RELOAD_FULL
@@ -270,15 +288,20 @@ def parallel_cells(
 
 
 def _sweep_cell(setup: ExperimentSetup, task: SweepTask) -> CellResult:
-    provisioner = strategy_registry()[task.strategy]()
+    # A FRESH service per cell keeps parallel == serial bit-identical:
+    # warm-cache state never leaks between cells, so process scheduling
+    # cannot influence any cell's decisions.  Within the cell the
+    # service amortises estimator state across the cell's simulations.
+    service = PlanningService(setup.market)
     result = sweep_strategy(
         setup,
         task.profile,
         task.slack_fraction,
-        provisioner,
+        task.strategy,
         num_simulations=task.num_simulations,
         reload_mode=task.reload_mode,
         offline_cost=task.offline_cost,
+        service=service,
     )
     if task.label is not None:
         result = replace(result, strategy=task.label)

@@ -20,10 +20,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.baselines import HourglassNaiveProvisioner, SpotOnProvisioner
 from repro.core.job import COLORING_PROFILE
 from repro.core.perfmodel import RELOAD_FULL, RELOAD_MICRO
-from repro.core.provisioner import HourglassProvisioner
 from repro.experiments.common import (
     CellResult,
     ExperimentSetup,
@@ -31,6 +29,7 @@ from repro.experiments.common import (
     sweep_strategy,
 )
 from repro.experiments.report import format_table
+from repro.service import PlanningService
 
 SLACK_FRACTION = 0.5  # 2 hours over the 4-hour job
 
@@ -44,32 +43,37 @@ def run(
     perf_full = setup.perf_model(profile, RELOAD_FULL)
     counts = len({c.num_workers for c in setup.catalog})
 
+    # Strategies resolve through one figure-local planning service; the
+    # two slack-aware bars use different reload modes (different
+    # performance fingerprints), so each still gets its own estimator.
+    service = PlanningService(setup.market)
     bars = [
-        ("eager", SpotOnProvisioner(), RELOAD_FULL, 0.0),
-        ("hourglass-naive", HourglassNaiveProvisioner(), RELOAD_FULL, 0.0),
+        ("eager", "spoton", RELOAD_FULL, 0.0),
+        ("hourglass-naive", "hourglass-naive", RELOAD_FULL, 0.0),
         (
             "slack-aware",
-            HourglassProvisioner(),
+            "hourglass",
             RELOAD_FULL,
             offline_partition_cost(perf_full, counts, RELOAD_FULL),
         ),
         (
             "slack-aware+fast-reload",
-            HourglassProvisioner(),
+            "hourglass",
             RELOAD_MICRO,
             offline_partition_cost(perf_full, counts, RELOAD_MICRO),
         ),
     ]
     results = []
-    for label, provisioner, mode, offline in bars:
+    for label, strategy, mode, offline in bars:
         cell = sweep_strategy(
             setup,
             profile,
             SLACK_FRACTION,
-            provisioner,
+            strategy,
             num_simulations=num_simulations,
             reload_mode=mode,
             offline_cost=offline,
+            service=service,
         )
         results.append(
             CellResult(

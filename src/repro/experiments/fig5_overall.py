@@ -10,6 +10,12 @@ or beats the deadline-oblivious greedy strategies; Proteus/SpotOn miss
 heavily on the long GC job (eviction-driven) and moderately on short
 jobs; the +DP variants meet deadlines but save much less, especially at
 small slacks.
+
+Strategies resolve through a per-cell
+:class:`~repro.service.planning.PlanningService` (see
+``experiments.common._sweep_cell``): within a cell the service amortises
+estimator state across the 40 simulations; across cells each service is
+fresh, keeping the parallel sweep bit-identical to the serial one.
 """
 
 from __future__ import annotations

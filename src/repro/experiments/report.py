@@ -47,6 +47,17 @@ def format_markdown(rows: Sequence[dict], columns: Sequence[str] | None = None) 
     return "\n".join(lines)
 
 
+def format_cache_stats(stats, title: str = "planning-service cache") -> str:
+    """Render estimator/service cache statistics as a one-row table.
+
+    Args:
+        stats: a :class:`~repro.core.expected_cost.CacheStats` (or any
+            object with ``as_dict()``), or an already-flat dict.
+    """
+    row = stats.as_dict() if hasattr(stats, "as_dict") else dict(stats)
+    return format_table([row], title=title)
+
+
 def _cell(value) -> str:
     if isinstance(value, bool):
         return str(value)

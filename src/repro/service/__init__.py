@@ -1,0 +1,26 @@
+"""Multi-tenant planning service over the Hourglass decision path.
+
+One long-lived :class:`PlanningService` answers provisioning questions
+for many concurrent jobs, sharing warm estimator memo tables, market
+snapshots and batched decisions across tenants (see
+:mod:`repro.service.planning`).
+"""
+
+from repro.service.planning import (
+    PlanError,
+    PlanningService,
+    PlanRequest,
+    PlanResult,
+    PlanTelemetry,
+)
+from repro.service.strategies import SERVICE_STRATEGIES, ServicePlannedProvisioner
+
+__all__ = [
+    "PlanError",
+    "PlanningService",
+    "PlanRequest",
+    "PlanResult",
+    "PlanTelemetry",
+    "SERVICE_STRATEGIES",
+    "ServicePlannedProvisioner",
+]

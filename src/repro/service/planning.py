@@ -1,0 +1,546 @@
+"""The multi-tenant planning service: one long-lived decision path.
+
+The paper evaluates one job at a time, each execution privately
+building its estimator, memo tables and market snapshot.  A production
+deployment (the ROADMAP's "many concurrent recurring jobs") wants the
+opposite: one long-lived :class:`PlanningService` serving
+:class:`PlanRequest`\\ s from many tenants, reusing the expensive
+artifacts across them:
+
+* **Keyed estimator cache** — one warm
+  :class:`~repro.core.expected_cost.ApproximateCostEstimator` per
+  ``(catalog fingerprint, performance fingerprint, grid resolution)``.
+  The DP lives in slack space, so recurring executions (same job, new
+  deadline every period) and *distinct* jobs with identical catalogues
+  and performance models share the same memo tables.  The estimator's
+  ``price_tolerance`` drift rule is promoted to an explicit price
+  *epoch*: a snapshot drifting past the tolerance retires every memoised
+  state of that key at once (``CacheStats.epoch`` counts retirements).
+* **Shared market snapshots** — N concurrent jobs deciding at time *t*
+  take one ``market.config_rates(catalog, t)`` snapshot, not N; the
+  service memoises the dense rate array per ``(catalog, t)``.
+* **Batched decisions** — :meth:`PlanningService.plan_many` groups
+  same-catalogue requests so a batch holds each estimator's lock once
+  and walks its warm memo back-to-back, bit-identical to the one-at-a-
+  time loop.
+
+Admission validates every request's catalogue (non-empty, at least one
+on-demand last-resort configuration) and raises :class:`PlanError`
+instead of letting a downstream IndexError surface.  Per-request
+telemetry (decision latency, memo hits/misses, snapshot reuse) rides on
+each :class:`PlanResult` and flows into the
+:class:`~repro.exec.observers.MetricsObserver` layer via the lifecycle's
+``on_decision`` hook.
+
+Thread safety: requests for different estimator keys plan concurrently;
+requests sharing a key serialise on that estimator's lock (the memo and
+its rate snapshot are one mutable unit).  Decisions are deterministic —
+a thread pool firing the same requests returns bit-identical decisions
+to the serial loop.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from repro.cloud.configuration import Configuration
+from repro.cloud.market import SpotMarket
+from repro.core.expected_cost import ApproximateCostEstimator, CacheStats, Decision
+from repro.core.provisioner import ProvisioningContext
+from repro.core.slack import SlackModel
+from repro.core.warning import NO_WARNING, WarningPolicy
+
+
+class PlanError(ValueError):
+    """A plan request failed service admission or strategy resolution."""
+
+
+@dataclass(frozen=True)
+class PlanRequest:
+    """One provisioning question: what should this job run next?
+
+    Attributes:
+        slack_model: the job's deadline/performance binding.
+        catalog: candidate configurations (validated at admission).
+        t: decision time on the market timeline.
+        work_left: fraction of the job outstanding.
+        current_config: the running configuration, or None at job start
+            / after an eviction.
+        current_uptime: how long the current deployment has been up.
+        strategy: strategy name (``hourglass`` or a baseline key).
+        slack_grid / work_grid: memo granularity override.  None lets
+            the service resolve them from this request's slack exactly
+            like a fresh estimator would auto-tune; a job session pins
+            the grids resolved at its first decision so every later
+            decision lands in the same memo space.
+    """
+
+    slack_model: SlackModel
+    catalog: tuple[Configuration, ...]
+    t: float = 0.0
+    work_left: float = 1.0
+    current_config: Configuration | None = None
+    current_uptime: float = 0.0
+    strategy: str = "hourglass"
+    slack_grid: float | None = None
+    work_grid: float | None = None
+
+
+@dataclass(frozen=True)
+class PlanTelemetry:
+    """What one decision cost the service.
+
+    Attributes:
+        latency_s: wall-clock seconds from admission to decision,
+            including any wait on the estimator lock.
+        memo_hits / memo_misses: estimator state lookups served from /
+            added to the shared memo by this decision (0/0 for
+            baseline strategies, which keep no DP state).
+        memo_entries: states memoised under this request's key after
+            the decision.
+        invalidations: price-epoch retirements triggered by this
+            request's snapshot.
+        epoch: the price epoch the decision was computed in.
+        snapshot_reused: the decision reused a rate snapshot another
+            request had already taken at the same (catalog, t).
+        estimator_reused: the request hit a warm estimator (False =
+            this request paid the cold construction).
+    """
+
+    latency_s: float
+    memo_hits: int = 0
+    memo_misses: int = 0
+    memo_entries: int = 0
+    invalidations: int = 0
+    epoch: int = 0
+    snapshot_reused: bool = False
+    estimator_reused: bool = False
+
+
+@dataclass(frozen=True)
+class PlanResult:
+    """A decision plus what it cost to make."""
+
+    decision: Decision
+    telemetry: PlanTelemetry
+
+    @property
+    def config(self) -> Configuration:
+        """The chosen configuration."""
+        return self.decision.config
+
+
+@dataclass
+class _EstimatorEntry:
+    """One cached estimator: the warm DP state for one planning key."""
+
+    estimator: ApproximateCostEstimator
+    lock: threading.Lock = field(default_factory=threading.Lock)
+
+
+class PlanningService:
+    """Long-lived, thread-safe decision service over one spot market.
+
+    Args:
+        market: the market every tenant's decisions consult.
+        warning: eviction-warning contract baked into hourglass
+            estimators (§9 extension).
+        slack_grid / work_grid: default memo granularity; None =
+            per-request auto-resolution (mirrors the estimator's
+            adaptive tuning).
+        price_tolerance: relative rate drift that retires a key's memo
+            (the estimator's rule, now an explicit epoch).
+        max_fail_depth: eviction-chain depth before the lrc fallback.
+        estimator_factory: estimator class to instantiate (tests swap
+            in the recursive reference oracle).
+        snapshot_capacity: how many (catalog, t) rate snapshots to keep.
+    """
+
+    def __init__(
+        self,
+        market: SpotMarket,
+        warning: WarningPolicy = NO_WARNING,
+        slack_grid: float | None = None,
+        work_grid: float | None = None,
+        price_tolerance: float = 0.05,
+        max_fail_depth: int = 2,
+        estimator_factory=ApproximateCostEstimator,
+        snapshot_capacity: int = 256,
+    ):
+        self.market = market
+        self.warning = warning
+        self.slack_grid = slack_grid
+        self.work_grid = work_grid
+        self.price_tolerance = price_tolerance
+        self.max_fail_depth = max_fail_depth
+        self.estimator_factory = estimator_factory
+        self.snapshot_capacity = snapshot_capacity
+        self._mutex = threading.Lock()  # guards the dicts and counters
+        self._entries: dict[tuple, _EstimatorEntry] = {}
+        self._snapshots: OrderedDict[tuple, object] = OrderedDict()
+        # perf-fingerprint memo: (id(perf), lrc name, catalog names) ->
+        # (perf ref, timings, lrc_exec, lrc_fixed).  GIL-atomic dict ops;
+        # a rare duplicate recompute is deterministic and harmless.
+        self._fingerprints: dict[tuple, tuple] = {}
+        self._plans = 0
+        self._batches = 0
+        self._estimators_built = 0
+        self._snapshot_hits = 0
+        self._snapshot_misses = 0
+
+    # ------------------------------------------------------------------
+    # Admission and keying
+    # ------------------------------------------------------------------
+    @staticmethod
+    def admit(catalog) -> tuple[Configuration, ...]:
+        """Validate a request's catalogue; returns it as a tuple.
+
+        Raises:
+            PlanError: empty catalogue, or no on-demand (non-evictable)
+                last-resort configuration to guarantee the deadline.
+        """
+        catalog = tuple(catalog)
+        if not catalog:
+            raise PlanError("plan request has an empty catalogue")
+        if not any(not c.is_transient for c in catalog):
+            raise PlanError(
+                "catalogue needs at least one on-demand (non-evictable) "
+                "last-resort configuration to guarantee the deadline"
+            )
+        return catalog
+
+    def resolved_grids(
+        self,
+        slack_model: SlackModel,
+        t: float,
+        work_left: float,
+        slack_grid: float | None = None,
+        work_grid: float | None = None,
+    ) -> tuple[float, float]:
+        """Memo granularity for a job whose first decision is (t, w).
+
+        Replicates the estimator's adaptive tuning exactly (~50 slack
+        buckets across the initial slack, floor 5 s; work grid 0.01), so
+        a service-planned job lands in the same buckets a private
+        estimator would have used.  The resolved values are part of the
+        estimator cache key: jobs resolving the same grids share memo.
+        """
+        sg = slack_grid if slack_grid is not None else self.slack_grid
+        wg = work_grid if work_grid is not None else self.work_grid
+        if wg is None:
+            wg = 0.01
+        if sg is None:
+            slack0 = max(slack_model.slack(t, work_left), 60.0)
+            sg = max(5.0, slack0 / 50.0)
+        return sg, wg
+
+    def _catalog_key(self, catalog: tuple[Configuration, ...]) -> tuple:
+        return tuple(c.name for c in catalog)
+
+    def _estimator_key(
+        self,
+        catalog: tuple[Configuration, ...],
+        slack_model: SlackModel,
+        grids: tuple[float, float],
+    ) -> tuple:
+        """(catalog fingerprint, performance fingerprint, grid resolution).
+
+        The fingerprint hashes the *values* the DP depends on — per-
+        config timings, the last-resort anchor, the warning lead — not
+        object identity, so distinct jobs with equal catalogues and
+        performance models resolve to the same warm estimator.  The
+        deadline is deliberately absent: the DP lives in slack space.
+        """
+        names = self._catalog_key(catalog)
+        perf = slack_model.perf
+        lrc = slack_model.lrc
+        # Computing the timing fingerprint walks the whole catalogue
+        # through the performance model — the hottest part of keying, so
+        # it is memoised per (model identity, lrc, catalogue).  The
+        # cached strong reference keeps the model alive, so its id()
+        # cannot be recycled onto a different model while cached; a hit
+        # is verified by identity before trust.
+        fp_key = (id(perf), lrc.name, names)
+        cached = self._fingerprints.get(fp_key)
+        if cached is None or cached[0] is not perf:
+            timings = tuple(
+                (
+                    perf.exec_time(c),
+                    perf.save_time(c),
+                    perf.setup_time(c),
+                    perf.fixed_time(c),
+                )
+                for c in catalog
+            )
+            cached = (perf, timings, perf.exec_time(lrc), perf.fixed_time(lrc))
+            if len(self._fingerprints) >= 4 * self.snapshot_capacity:
+                self._fingerprints.clear()
+            self._fingerprints[fp_key] = cached
+        return (
+            names,
+            cached[1],
+            lrc.name,
+            cached[2],
+            cached[3],
+            self.warning.lead_seconds,
+            grids,
+        )
+
+    def _entry_for(
+        self,
+        key: tuple,
+        catalog: tuple[Configuration, ...],
+        slack_model: SlackModel,
+        grids: tuple[float, float],
+    ) -> tuple[_EstimatorEntry, bool]:
+        """Get-or-create the estimator entry; returns (entry, was_warm)."""
+        with self._mutex:
+            entry = self._entries.get(key)
+            if entry is not None:
+                return entry, True
+        # Build outside the dict lock (construction precomputes the
+        # per-catalogue tables); insertion rechecks for a racing build.
+        estimator = self.estimator_factory(
+            slack_model,
+            self.market,
+            catalog,
+            slack_grid=grids[0],
+            work_grid=grids[1],
+            price_tolerance=self.price_tolerance,
+            max_fail_depth=self.max_fail_depth,
+            warning=self.warning,
+        )
+        fresh = _EstimatorEntry(estimator=estimator)
+        with self._mutex:
+            entry = self._entries.setdefault(key, fresh)
+            if entry is fresh:
+                self._estimators_built += 1
+                return entry, False
+            return entry, True
+
+    # ------------------------------------------------------------------
+    # Shared market snapshots
+    # ------------------------------------------------------------------
+    def _rates_for(self, catalog: tuple[Configuration, ...], t: float):
+        """One decision-time rate snapshot per (catalog, t), shared.
+
+        Returns ``(rates, reused)``; *rates* is exactly what
+        ``market.config_rates(catalog, t)`` returns (prices are a
+        deterministic function of t, so sharing cannot change values).
+        """
+        key = (self._catalog_key(catalog), t)
+        with self._mutex:
+            rates = self._snapshots.get(key)
+            if rates is not None:
+                self._snapshot_hits += 1
+                self._snapshots.move_to_end(key)
+                return rates, True
+        rates = self.market.config_rates(catalog, t)
+        with self._mutex:
+            self._snapshot_misses += 1
+            self._snapshots[key] = rates
+            while len(self._snapshots) > self.snapshot_capacity:
+                self._snapshots.popitem(last=False)
+        return rates, False
+
+    # ------------------------------------------------------------------
+    # Planning
+    # ------------------------------------------------------------------
+    def plan(self, request: PlanRequest) -> PlanResult:
+        """Answer one :class:`PlanRequest`."""
+        started = time.perf_counter()
+        catalog = self.admit(request.catalog)
+        with self._mutex:
+            self._plans += 1
+        if request.strategy != "hourglass":
+            return self._plan_baseline(request, catalog, started)
+        grids = self.resolved_grids(
+            request.slack_model,
+            request.t,
+            request.work_left,
+            request.slack_grid,
+            request.work_grid,
+        )
+        key = self._estimator_key(catalog, request.slack_model, grids)
+        entry, warm = self._entry_for(key, catalog, request.slack_model, grids)
+        rates, snapshot_reused = self._rates_for(catalog, request.t)
+        with entry.lock:
+            before = entry.estimator.cache_stats()
+            slack = request.slack_model.slack(request.t, request.work_left)
+            decision = entry.estimator.best_at_slack(
+                slack,
+                request.t,
+                request.work_left,
+                request.current_config,
+                request.current_uptime,
+                rates=rates,
+            )
+            after = entry.estimator.cache_stats()
+        return PlanResult(
+            decision=decision,
+            telemetry=PlanTelemetry(
+                latency_s=time.perf_counter() - started,
+                memo_hits=after.hits - before.hits,
+                memo_misses=after.misses - before.misses,
+                memo_entries=after.entries,
+                invalidations=after.invalidations - before.invalidations,
+                epoch=after.epoch,
+                snapshot_reused=snapshot_reused,
+                estimator_reused=warm,
+            ),
+        )
+
+    def _plan_baseline(
+        self, request: PlanRequest, catalog: tuple[Configuration, ...], started: float
+    ) -> PlanResult:
+        """Resolve a baseline strategy for one stateless decision.
+
+        Baselines keep no DP state, so a fresh instance per request is
+        exact; latched state (the +DP wrapper) is re-derived from the
+        request's slack.
+        """
+        provisioner = self.provisioner(request.strategy)
+        ctx = ProvisioningContext(
+            t=request.t,
+            work_left=request.work_left,
+            current_config=request.current_config,
+            current_uptime=request.current_uptime,
+            slack_model=request.slack_model,
+            market=self.market,
+            catalog=catalog,
+        )
+        config = provisioner.select(ctx)
+        decision = Decision(
+            config=config,
+            expected_cost=math.nan,
+            evaluated_at=request.t,
+            work_left=request.work_left,
+        )
+        return PlanResult(
+            decision=decision,
+            telemetry=PlanTelemetry(latency_s=time.perf_counter() - started),
+        )
+
+    def plan_many(self, requests) -> list[PlanResult]:
+        """Answer a batch of requests, grouping same-catalogue work.
+
+        Hourglass requests resolving to the same estimator key are
+        planned back-to-back under one lock acquisition, in their input
+        order, sharing rate snapshots and warm memo within the batch —
+        bit-identical to calling :meth:`plan` per request, without the
+        per-request lock and lookup churn.
+        """
+        requests = list(requests)
+        results: list[PlanResult | None] = [None] * len(requests)
+        groups: OrderedDict[tuple, list] = OrderedDict()
+        for i, request in enumerate(requests):
+            started = time.perf_counter()
+            catalog = self.admit(request.catalog)
+            with self._mutex:
+                self._plans += 1
+            if request.strategy != "hourglass":
+                results[i] = self._plan_baseline(request, catalog, started)
+                continue
+            grids = self.resolved_grids(
+                request.slack_model,
+                request.t,
+                request.work_left,
+                request.slack_grid,
+                request.work_grid,
+            )
+            key = self._estimator_key(catalog, request.slack_model, grids)
+            groups.setdefault(key, []).append((i, request, catalog, grids, started))
+        for key, members in groups.items():
+            _, request0, catalog0, grids0, _ = members[0]
+            entry, warm = self._entry_for(key, catalog0, request0.slack_model, grids0)
+            with entry.lock:
+                for i, request, catalog, _grids, started in members:
+                    rates, snapshot_reused = self._rates_for(catalog, request.t)
+                    before = entry.estimator.cache_stats()
+                    slack = request.slack_model.slack(request.t, request.work_left)
+                    decision = entry.estimator.best_at_slack(
+                        slack,
+                        request.t,
+                        request.work_left,
+                        request.current_config,
+                        request.current_uptime,
+                        rates=rates,
+                    )
+                    after = entry.estimator.cache_stats()
+                    results[i] = PlanResult(
+                        decision=decision,
+                        telemetry=PlanTelemetry(
+                            latency_s=time.perf_counter() - started,
+                            memo_hits=after.hits - before.hits,
+                            memo_misses=after.misses - before.misses,
+                            memo_entries=after.entries,
+                            invalidations=after.invalidations - before.invalidations,
+                            epoch=after.epoch,
+                            snapshot_reused=snapshot_reused,
+                            estimator_reused=warm,
+                        ),
+                    )
+                    warm = True  # later members of the batch hit warm state
+        with self._mutex:
+            self._batches += 1
+        return results  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    # Strategy resolution
+    # ------------------------------------------------------------------
+    def provisioner(self, strategy: str):
+        """A lifecycle-facing provisioner for *strategy*, service-backed.
+
+        ``hourglass`` routes every ``select()`` through :meth:`plan`
+        (shared caches, telemetry); baseline strategies resolve to fresh
+        instances of their :mod:`repro.core.baselines` classes — the
+        service is their registry, they need none of its caches.
+        """
+        from repro.service.strategies import resolve_strategy
+
+        return resolve_strategy(self, strategy)
+
+    def strategies(self) -> tuple[str, ...]:
+        """Names :meth:`provisioner` can resolve."""
+        from repro.service.strategies import SERVICE_STRATEGIES
+
+        return tuple(SERVICE_STRATEGIES)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def cache_stats(self) -> CacheStats:
+        """Aggregate memo statistics across every cached estimator."""
+        with self._mutex:
+            entries = list(self._entries.values())
+        hits = misses = invalidations = states = epochs = 0
+        for entry in entries:
+            stats = entry.estimator.cache_stats()
+            hits += stats.hits
+            misses += stats.misses
+            invalidations += stats.invalidations
+            states += stats.entries
+            epochs += stats.epoch
+        return CacheStats(
+            hits=hits,
+            misses=misses,
+            invalidations=invalidations,
+            entries=states,
+            epoch=epochs,
+        )
+
+    def service_stats(self) -> dict:
+        """Service-level counters as one flat dict (for reports)."""
+        with self._mutex:
+            return {
+                "plans": self._plans,
+                "batches": self._batches,
+                "estimators": len(self._entries),
+                "estimators_built": self._estimators_built,
+                "snapshot_hits": self._snapshot_hits,
+                "snapshot_misses": self._snapshot_misses,
+            }

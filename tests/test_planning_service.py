@@ -1,0 +1,439 @@
+"""The multi-tenant planning service: admission, equivalence, caching.
+
+The service's contract is *bit-identity with the per-job path*: routing
+decisions through shared estimator caches, shared market snapshots, a
+batched API, or a thread pool must never change what is decided — only
+how fast.  These tests pin that contract with the fig5/fig9 cells as
+oracles, plus the admission/invalidations/telemetry behaviour the
+service adds on top.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.core.expected_cost import ApproximateCostEstimator
+from repro.core.job import COLORING_PROFILE, PAGERANK_PROFILE, SSSP_PROFILE, job_with_slack
+from repro.core.provisioner import HourglassProvisioner, ProvisioningContext
+from repro.core.recurring import (
+    InterleavedRecurringDriver,
+    RecurringJobDriver,
+    RecurringJobSpec,
+)
+from repro.core.simulator import ExecutionSimulator
+from repro.core.slack import SlackModel
+from repro.exec.observers import MetricsObserver
+from repro.experiments.common import (
+    ExperimentSetup,
+    SweepTask,
+    run_sweep_tasks,
+    strategy_registry,
+    sweep_strategy,
+)
+from repro.service import (
+    PlanError,
+    PlanningService,
+    PlanRequest,
+    ServicePlannedProvisioner,
+)
+from repro.utils.units import HOURS
+
+
+@pytest.fixture(scope="module")
+def setup() -> ExperimentSetup:
+    return ExperimentSetup(seed=42, trace_days=12)
+
+
+def _slack_model(setup, profile, slack=0.5, start=0.0):
+    perf = setup.perf_model(profile)
+    lrc = setup.lrc(perf)
+    job = job_with_slack(profile, start, slack, perf.fixed_time(lrc))
+    return SlackModel(perf=perf, lrc=lrc, deadline=job.deadline)
+
+
+class TestAdmission:
+    def test_empty_catalog_rejected(self, setup):
+        service = PlanningService(setup.market)
+        sm = _slack_model(setup, PAGERANK_PROFILE)
+        with pytest.raises(PlanError, match="empty catalogue"):
+            service.plan(PlanRequest(slack_model=sm, catalog=()))
+
+    def test_transient_only_catalog_rejected(self, setup):
+        service = PlanningService(setup.market)
+        sm = _slack_model(setup, PAGERANK_PROFILE)
+        transient = tuple(c for c in setup.catalog if c.is_transient)
+        with pytest.raises(PlanError, match="on-demand"):
+            service.plan(PlanRequest(slack_model=sm, catalog=transient))
+
+    def test_unknown_strategy_rejected(self, setup):
+        service = PlanningService(setup.market)
+        sm = _slack_model(setup, PAGERANK_PROFILE)
+        with pytest.raises(PlanError, match="unknown strategy"):
+            service.plan(
+                PlanRequest(slack_model=sm, catalog=setup.catalog, strategy="nope")
+            )
+
+    def test_known_strategies_match_registry(self, setup):
+        assert set(PlanningService(setup.market).strategies()) == set(
+            strategy_registry()
+        )
+
+
+class TestSingleDecisionEquivalence:
+    """Fig 9-style oracle: one decision, service vs private estimator."""
+
+    @pytest.mark.parametrize("slack", [0.1, 0.5, 1.0])
+    @pytest.mark.parametrize(
+        "profile", [SSSP_PROFILE, PAGERANK_PROFILE, COLORING_PROFILE]
+    )
+    def test_plan_matches_fresh_estimator(self, setup, profile, slack):
+        sm = _slack_model(setup, profile, slack)
+        estimator = ApproximateCostEstimator(sm, setup.market, setup.catalog)
+        expected = estimator.best(0.0, 1.0)
+
+        service = PlanningService(setup.market)
+        request = PlanRequest(slack_model=sm, catalog=setup.catalog)
+        cold = service.plan(request)
+        warm = service.plan(request)
+        assert cold.decision == expected  # exact float equality
+        assert warm.decision == expected
+        assert not cold.telemetry.estimator_reused
+        assert warm.telemetry.estimator_reused
+        assert warm.telemetry.snapshot_reused
+
+    def test_plan_matches_legacy_provisioner(self, setup):
+        sm = _slack_model(setup, PAGERANK_PROFILE, 0.4, start=3 * HOURS)
+        legacy = HourglassProvisioner()
+        ctx = ProvisioningContext(
+            t=3 * HOURS,
+            work_left=1.0,
+            current_config=None,
+            current_uptime=0.0,
+            slack_model=sm,
+            market=setup.market,
+            catalog=setup.catalog,
+        )
+        choice = legacy.select(ctx)
+        result = PlanningService(setup.market).plan(
+            PlanRequest(slack_model=sm, catalog=setup.catalog, t=3 * HOURS)
+        )
+        assert result.decision == legacy.last_decision
+        assert result.config == choice
+
+
+class TestSweepEquivalence:
+    """Fig 5-style oracle: whole cells, service-routed vs legacy."""
+
+    def test_cells_match_legacy_provisioners(self, setup):
+        tasks = [
+            SweepTask(
+                profile=profile, slack_fraction=slack, strategy=key, num_simulations=6
+            )
+            for profile in (SSSP_PROFILE, PAGERANK_PROFILE)
+            for slack in (0.2, 0.8)
+            for key in ("hourglass", "spoton+dp")
+        ]
+        routed = run_sweep_tasks(setup, tasks, max_workers=1)
+        registry = strategy_registry()
+        legacy = [
+            sweep_strategy(
+                setup,
+                task.profile,
+                task.slack_fraction,
+                registry[task.strategy](),
+                num_simulations=task.num_simulations,
+            )
+            for task in tasks
+        ]
+        assert routed == legacy
+
+    def test_shared_service_matches_private_services(self, setup):
+        """Cross-job warm state on one service never changes a cell."""
+        shared = PlanningService(setup.market)
+        cells_shared = [
+            sweep_strategy(
+                setup, profile, 0.5, "hourglass", num_simulations=5, service=shared
+            )
+            for profile in (SSSP_PROFILE, PAGERANK_PROFILE)
+        ]
+        cells_private = [
+            sweep_strategy(
+                setup,
+                profile,
+                0.5,
+                "hourglass",
+                num_simulations=5,
+                service=PlanningService(setup.market),
+            )
+            for profile in (SSSP_PROFILE, PAGERANK_PROFILE)
+        ]
+        assert cells_shared == cells_private
+
+
+class TestConcurrency:
+    def test_thread_pool_matches_serial(self, setup):
+        """Concurrent plan() calls return bit-identical decisions."""
+        requests = [
+            PlanRequest(
+                slack_model=_slack_model(setup, profile, slack, start=start),
+                catalog=setup.catalog,
+                t=start,
+                work_left=work,
+            )
+            for profile in (SSSP_PROFILE, PAGERANK_PROFILE, COLORING_PROFILE)
+            for slack in (0.3, 0.9)
+            for start, work in ((0.0, 1.0), (2 * HOURS, 0.6))
+        ]
+        serial = [PlanningService(setup.market).plan(r).decision for r in requests]
+        service = PlanningService(setup.market)
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            concurrent = [r.decision for r in pool.map(service.plan, requests)]
+        assert concurrent == serial
+        # And again on the now-warm service: still identical.
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            warm = [r.decision for r in pool.map(service.plan, requests)]
+        assert warm == serial
+
+    def test_plan_many_matches_plan_loop(self, setup):
+        requests = [
+            PlanRequest(
+                slack_model=_slack_model(setup, profile, 0.5),
+                catalog=setup.catalog,
+                t=600.0 * i,
+                work_left=1.0 - 0.07 * i,
+                strategy=strategy,
+            )
+            for i, (profile, strategy) in enumerate(
+                [
+                    (SSSP_PROFILE, "hourglass"),
+                    (PAGERANK_PROFILE, "hourglass"),
+                    (SSSP_PROFILE, "spoton"),
+                    (SSSP_PROFILE, "hourglass"),
+                    (PAGERANK_PROFILE, "on-demand"),
+                    (PAGERANK_PROFILE, "hourglass"),
+                ]
+            )
+        ]
+        loop = [PlanningService(setup.market).plan(r) for r in requests]
+        batched = PlanningService(setup.market).plan_many(requests)
+        assert [r.decision for r in batched] == [r.decision for r in loop]
+
+
+class TestInvalidation:
+    """The price-drift epoch matches the legacy ``price_tolerance`` rule."""
+
+    def _drift_times(self, setup, sm, tolerance):
+        """A time pair within tolerance and one beyond it, from the trace."""
+        import numpy as np
+
+        rates0 = setup.market.config_rates(setup.catalog, 0.0)
+        small = large = None
+        for t in np.arange(300.0, setup.market.horizon / 3, 300.0):
+            rates = setup.market.config_rates(setup.catalog, float(t))
+            drift = float(np.max(np.abs(rates / rates0 - 1.0)))
+            if small is None and 0 < drift <= tolerance / 2:
+                small = float(t)
+            if large is None and drift > 2 * tolerance:
+                large = float(t)
+            if small is not None and large is not None:
+                return small, large
+        pytest.skip("trace never produced the required drift pattern")
+
+    def test_epoch_tracks_price_tolerance(self, setup):
+        sm = _slack_model(setup, PAGERANK_PROFILE, 0.5)
+        service = PlanningService(setup.market)
+        small, large = self._drift_times(setup, sm, service.price_tolerance)
+
+        first = service.plan(PlanRequest(slack_model=sm, catalog=setup.catalog, t=0.0))
+        epoch0 = first.telemetry.epoch
+        within = service.plan(
+            PlanRequest(slack_model=sm, catalog=setup.catalog, t=small)
+        )
+        assert within.telemetry.epoch == epoch0  # tolerated drift: memo kept
+        assert within.telemetry.invalidations == 0
+        beyond = service.plan(
+            PlanRequest(slack_model=sm, catalog=setup.catalog, t=large)
+        )
+        assert beyond.telemetry.epoch == epoch0 + 1  # retired epoch
+        assert beyond.telemetry.invalidations == 1
+
+    def test_invalidation_matches_legacy_memo_drop(self, setup):
+        """The service decides exactly as a legacy estimator across drift."""
+        sm = _slack_model(setup, PAGERANK_PROFILE, 0.5)
+        service = PlanningService(setup.market)
+        small, large = self._drift_times(setup, sm, service.price_tolerance)
+
+        legacy = ApproximateCostEstimator(sm, setup.market, setup.catalog)
+        for t in (0.0, small, large):
+            expected = legacy.best(t, 1.0)
+            got = service.plan(
+                PlanRequest(slack_model=sm, catalog=setup.catalog, t=t)
+            )
+            assert got.decision == expected
+
+
+class TestCacheStats:
+    def test_estimator_counters(self, setup):
+        sm = _slack_model(setup, PAGERANK_PROFILE, 0.5)
+        estimator = ApproximateCostEstimator(sm, setup.market, setup.catalog)
+        assert estimator.cache_stats().as_dict() == {
+            "hits": 0,
+            "misses": 0,
+            "hit_rate": 0.0,
+            "invalidations": 0,
+            "entries": 0,
+            "epoch": 0,
+        }
+        estimator.best(0.0, 1.0)
+        stats = estimator.cache_stats()
+        assert stats.misses > 0
+        assert stats.entries == stats.misses  # every miss memoised a state
+        estimator.best(0.0, 1.0)
+        again = estimator.cache_stats()
+        assert again.hits > stats.hits
+        assert again.misses == stats.misses
+        estimator.invalidate()
+        cleared = estimator.cache_stats()
+        assert cleared.entries == 0
+        assert cleared.invalidations == 1
+        assert cleared.epoch == stats.epoch + 1
+
+    def test_service_aggregates(self, setup):
+        service = PlanningService(setup.market)
+        for profile in (SSSP_PROFILE, PAGERANK_PROFILE):
+            sm = _slack_model(setup, profile, 0.5)
+            service.plan(PlanRequest(slack_model=sm, catalog=setup.catalog))
+        stats = service.cache_stats()
+        assert stats.misses > 0 and stats.entries > 0
+        svc = service.service_stats()
+        assert svc["plans"] == 2
+        assert svc["estimators"] == 2  # distinct performance fingerprints
+
+
+class TestTelemetryFlow:
+    def test_metrics_observer_collects_decisions(self, setup):
+        profile = SSSP_PROFILE
+        perf = setup.perf_model(profile)
+        metrics = MetricsObserver()
+        sim = ExecutionSimulator(
+            setup.market,
+            perf,
+            setup.catalog,
+            "hourglass",
+            record_events=False,
+            observers=(metrics,),
+        )
+        assert isinstance(sim.provisioner, ServicePlannedProvisioner)
+        job = job_with_slack(profile, 0.0, 0.5, perf.fixed_time(setup.lrc(perf)))
+        result = sim.run(job)
+        report = metrics.report()
+        assert report["decisions"] >= 1
+        assert report["decisions"] == (
+            report.get("warm_decisions", 0) + report.get("cold_decisions", 0)
+        )
+        assert report["decision_seconds"] > 0
+        assert result.provisioner_name == "hourglass"
+
+    def test_service_simulator_matches_legacy(self, setup):
+        profile = PAGERANK_PROFILE
+        perf = setup.perf_model(profile)
+        job = job_with_slack(profile, 0.0, 0.5, perf.fixed_time(setup.lrc(perf)))
+        legacy = ExecutionSimulator(
+            setup.market, perf, setup.catalog, HourglassProvisioner(), record_events=False
+        ).run(job)
+        routed = ExecutionSimulator(
+            setup.market, perf, setup.catalog, "hourglass", record_events=False
+        ).run(job)
+        assert routed == legacy
+
+
+class TestInterleavedRecurring:
+    def test_matches_independent_drivers(self, setup):
+        """Interleaving changes the execution order, never the outcomes."""
+        specs = []
+        outcomes_solo = {}
+        for name, profile, period, offset in (
+            ("ranks", PAGERANK_PROFILE, 6 * HOURS, 0.0),
+            ("paths", SSSP_PROFILE, 4 * HOURS, 1 * HOURS),
+        ):
+            perf = setup.perf_model(profile)
+            solo_sim = ExecutionSimulator(
+                setup.market, perf, setup.catalog, "hourglass", record_events=False
+            )
+            driver = RecurringJobDriver(solo_sim, profile, period)
+            outcomes_solo[name] = driver.run(offset, 3)
+            specs.append(
+                RecurringJobSpec(
+                    name=name,
+                    simulator=ExecutionSimulator(
+                        setup.market, perf, setup.catalog, "hourglass",
+                        record_events=False,
+                    ),
+                    profile=profile,
+                    period=period,
+                    offset=offset,
+                )
+            )
+        outcomes = InterleavedRecurringDriver(specs).run(0.0, 3)
+        assert outcomes == outcomes_solo
+
+    def test_shared_service_stays_equivalent_and_warm(self, setup):
+        """One service under both tenants: same outcomes, warm reuse."""
+        service = PlanningService(setup.market)
+        specs = []
+        for name, profile, period, offset in (
+            ("ranks", PAGERANK_PROFILE, 6 * HOURS, 0.0),
+            ("ranks-shifted", PAGERANK_PROFILE, 6 * HOURS, 2 * HOURS),
+        ):
+            perf = setup.perf_model(profile)
+            specs.append(
+                RecurringJobSpec(
+                    name=name,
+                    simulator=ExecutionSimulator(
+                        setup.market, perf, setup.catalog, "hourglass",
+                        record_events=False, service=service,
+                    ),
+                    profile=profile,
+                    period=period,
+                    offset=offset,
+                )
+            )
+        outcomes = InterleavedRecurringDriver(specs).run(0.0, 2)
+
+        solo = {}
+        for spec in specs:
+            perf = setup.perf_model(spec.profile)
+            sim = ExecutionSimulator(
+                setup.market, perf, setup.catalog, "hourglass", record_events=False
+            )
+            solo[spec.name] = RecurringJobDriver(sim, spec.profile, spec.period).run(
+                spec.offset, 2
+            )
+        assert outcomes == solo
+        # Both tenants share one catalogue+performance fingerprint, so
+        # the second tenant's decisions hit the first tenant's estimator.
+        assert service.service_stats()["estimators"] == 1
+        assert service.cache_stats().hits > 0
+
+    def test_validation(self, setup):
+        perf = setup.perf_model(SSSP_PROFILE)
+        sim = ExecutionSimulator(
+            setup.market, perf, setup.catalog, "hourglass", record_events=False
+        )
+        spec = RecurringJobSpec(
+            name="a", simulator=sim, profile=SSSP_PROFILE, period=HOURS
+        )
+        with pytest.raises(ValueError, match="at least one"):
+            InterleavedRecurringDriver([])
+        with pytest.raises(ValueError, match="unique"):
+            InterleavedRecurringDriver([spec, spec])
+        with pytest.raises(ValueError, match="positive"):
+            InterleavedRecurringDriver(
+                [
+                    RecurringJobSpec(
+                        name="b", simulator=sim, profile=SSSP_PROFILE, period=0.0
+                    )
+                ]
+            )
