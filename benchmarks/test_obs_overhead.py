@@ -1,0 +1,118 @@
+"""Observability overhead benchmark: tracing off must be ~free.
+
+Two hot paths carry an ``if tracer.enabled`` guard per event:
+
+* the engine superstep loop (``PregelEngine.step``), measured against a
+  guard-free bypass that calls the dense step directly;
+* the planning-service decision path (``PlanningService.plan``), run
+  with tracing disabled and enabled.
+
+Disabled-mode overhead on the superstep path must stay under
+``MAX_OFF_OVERHEAD`` (2%) — the guard is one attribute read and branch,
+so a regression here means instrumentation leaked into the hot loop.
+Enabled-mode numbers are informational (tracing buys its records with
+real work).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.engine import PregelEngine
+from repro.engine.algorithms import PageRank
+from repro.graph import generators
+from repro.obs.state import tracing
+from repro.service.planning import PlanningService, PlanRequest
+
+NUM_VERTICES = 20_000
+AVG_DEGREE = 8
+ITERATIONS = 10
+REPEATS = 5
+NUM_DECISIONS = 300
+MAX_OFF_OVERHEAD = 0.02
+
+
+def _time_engine_run(graph, use_step: bool) -> tuple[float, int]:
+    """Best-of-REPEATS seconds for one full PageRank run.
+
+    ``use_step=True`` goes through the instrumented ``step()`` (one
+    tracer branch per superstep); ``use_step=False`` calls the dense
+    step directly — the guard-free baseline.
+    """
+    best = float("inf")
+    supersteps = 0
+    for _ in range(REPEATS):
+        engine = PregelEngine(graph, PageRank(iterations=ITERATIONS))
+        t0 = time.perf_counter()
+        if use_step:
+            while engine.step():
+                pass
+        else:
+            while engine._step_dense():
+                pass
+        best = min(best, time.perf_counter() - t0)
+        supersteps = engine.superstep
+    return best, supersteps
+
+
+def _slack_model(setup):
+    from repro.core.job import PAGERANK_PROFILE, job_with_slack
+    from repro.core.slack import SlackModel
+
+    perf = setup.perf_model(PAGERANK_PROFILE)
+    lrc = setup.lrc(perf)
+    job = job_with_slack(PAGERANK_PROFILE, 0.0, 0.5, perf.fixed_time(lrc))
+    return SlackModel(perf=perf, lrc=lrc, deadline=job.deadline)
+
+
+def _time_decisions(setup, slack_model) -> float:
+    """Best-of-REPEATS seconds for NUM_DECISIONS warm plan() calls."""
+    service = PlanningService(setup.market)
+    request = PlanRequest(slack_model=slack_model, catalog=setup.catalog)
+    service.plan(request)  # pay the cold build once, outside the clock
+    best = float("inf")
+    for _ in range(REPEATS):
+        t0 = time.perf_counter()
+        for _ in range(NUM_DECISIONS):
+            service.plan(request)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_obs_overhead(setup, save_result):
+    graph = generators.random_graph(NUM_VERTICES, avg_degree=AVG_DEGREE, seed=7)
+
+    bypass_s, supersteps = _time_engine_run(graph, use_step=False)
+    off_s, _ = _time_engine_run(graph, use_step=True)
+    with tracing():
+        on_s, _ = _time_engine_run(graph, use_step=True)
+    off_overhead = off_s / bypass_s - 1.0
+
+    slack_model = _slack_model(setup)
+    dec_off_s = _time_decisions(setup, slack_model)
+    with tracing():
+        dec_on_s = _time_decisions(setup, slack_model)
+
+    rendered = "\n".join(
+        [
+            "observability overhead: tracing disabled vs enabled",
+            f"supersteps/s (PageRank, {NUM_VERTICES:,} vertices, "
+            f"{supersteps} supersteps, best of {REPEATS}):",
+            f"  guard-free bypass : {supersteps / bypass_s:10.2f} ({bypass_s:.4f}s)",
+            f"  tracing off       : {supersteps / off_s:10.2f} ({off_s:.4f}s)"
+            f"   [{off_overhead * 100:+.2f}% vs bypass]",
+            f"  tracing on        : {supersteps / on_s:10.2f} ({on_s:.4f}s)",
+            f"decisions/s (warm planning service, {NUM_DECISIONS} decisions, "
+            f"best of {REPEATS}):",
+            f"  tracing off       : {NUM_DECISIONS / dec_off_s:10.2f} "
+            f"({dec_off_s:.4f}s)",
+            f"  tracing on        : {NUM_DECISIONS / dec_on_s:10.2f} "
+            f"({dec_on_s:.4f}s)",
+        ]
+    )
+    save_result("obs_overhead", rendered)
+
+    assert off_overhead < MAX_OFF_OVERHEAD, (
+        f"disabled-mode tracing costs {off_overhead * 100:.2f}% on the "
+        f"superstep path (budget {MAX_OFF_OVERHEAD * 100:.0f}%)"
+    )

@@ -77,6 +77,8 @@ from repro.exec import (
     SlowBootFaults,
 )
 from repro.experiments import ExperimentSetup
+from repro import obs
+from repro.obs import TracingObserver, tracing
 from repro.runtime import HourglassRuntime, RuntimeResult
 from repro.service import (
     PlanError,
@@ -143,11 +145,14 @@ __all__ = [
     "SlackModel",
     "SpotMarket",
     "SpotOnProvisioner",
+    "TracingObserver",
     "default_catalog",
     "from_edges",
     "full_grid_catalog",
     "get_dataset",
     "job_with_slack",
+    "obs",
     "on_demand_baseline_cost",
+    "tracing",
     "__version__",
 ]

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 
 from repro.engine.datastore import DataStore
 from repro.engine.engine import PregelEngine
+from repro.obs.state import get_metrics, get_tracer
 
 #: Current checkpoint payload format: the engine's dense state arrays
 #: (values, halted, pending-message arrays, stats) pickled directly.
@@ -66,6 +67,21 @@ class CheckpointManager:
             nbytes=nbytes,
             simulated_write_seconds=write_time,
         )
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.event(
+                "checkpoint.save",
+                superstep=engine.superstep,
+                nbytes=nbytes,
+                sim_seconds=write_time,
+            )
+            metrics = get_metrics()
+            metrics.counter(
+                "checkpoint_writes_total", "Engine checkpoints persisted"
+            ).inc(1, job_id=self.job_id)
+            metrics.histogram(
+                "checkpoint_bytes", "Serialized size of one engine checkpoint"
+            ).observe(nbytes, job_id=self.job_id)
         self._history.append(info)
         self._prune()
         return info
@@ -87,6 +103,17 @@ class CheckpointManager:
             raise LookupError(f"no checkpoints stored for job {self.job_id!r}")
         state, read_time = self.datastore.get_object_timed(info.key)
         engine.restore_state(state)
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.event(
+                "checkpoint.restore",
+                superstep=info.superstep,
+                nbytes=info.nbytes,
+                sim_seconds=read_time,
+            )
+            get_metrics().counter(
+                "checkpoint_restores_total", "Engine checkpoint restores"
+            ).inc(1, job_id=self.job_id)
         return read_time
 
     def history(self) -> list[CheckpointInfo]:

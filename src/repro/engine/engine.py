@@ -23,6 +23,7 @@ messages ⇒ network cost).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -31,6 +32,7 @@ from repro.engine.messages import MessageStore
 from repro.engine.vertex import ComputeContext, DenseComputeContext, VertexProgram
 from repro.engine.worker import Worker, build_workers, value_dtype_of
 from repro.graph.graph import Graph
+from repro.obs.state import get_metrics, get_tracer
 from repro.partitioning.base import Partitioning
 
 
@@ -104,6 +106,9 @@ class PregelEngine:
         partitioning: vertex -> worker assignment; its ``num_parts`` is
             the worker count.
         max_supersteps: safety cap (default 10_000).
+        tracer: :class:`~repro.obs.trace.Tracer` for ``superstep`` spans
+            (default: the process tracer at construction time; the
+            no-op tracer costs one branch per superstep).
     """
 
     def __init__(
@@ -112,6 +117,7 @@ class PregelEngine:
         program: VertexProgram,
         partitioning: Partitioning | None = None,
         max_supersteps: int = 10_000,
+        tracer=None,
     ):
         if partitioning is None:
             from repro.partitioning.hashing import HashPartitioner
@@ -125,6 +131,7 @@ class PregelEngine:
         self.program = program
         self.partitioning = partitioning
         self.max_supersteps = max_supersteps
+        self._tracer = tracer if tracer is not None else get_tracer()
         self.num_workers = partitioning.num_parts
         self.workers: list[Worker] = build_workers(partitioning, self.num_workers)
         self._owner = partitioning.assignment  # vertex -> worker
@@ -183,9 +190,32 @@ class PregelEngine:
 
     def step(self) -> bool:
         """Execute one superstep; returns True while work remains."""
+        if self._tracer.enabled:
+            return self._step_traced()
         if self.program.supports_dense:
             return self._step_dense()
         return self._step_scalar()
+
+    def _step_traced(self) -> bool:
+        """One superstep wrapped in a ``superstep`` span (wall clock)."""
+        started = time.perf_counter()
+        with self._tracer.span(
+            "superstep", superstep=self.superstep, workers=self.num_workers
+        ) as span:
+            if self.program.supports_dense:
+                more = self._step_dense()
+            else:
+                more = self._step_scalar()
+            stats = self.stats[-1]
+            span.set(
+                active=stats.active_vertices,
+                messages=stats.messages_sent,
+                remote_bytes=stats.remote_bytes,
+            )
+        get_metrics().histogram(
+            "superstep_wall_seconds", "Wall-clock seconds per engine superstep"
+        ).observe(time.perf_counter() - started, workers=self.num_workers)
+        return more
 
     def _step_scalar(self) -> bool:
         """Per-vertex compute path (arbitrary value/message types)."""

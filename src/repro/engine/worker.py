@@ -17,6 +17,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.obs.state import get_tracer
+
 
 def value_dtype_of(program) -> np.dtype:
     """The numpy dtype a program's vertex values are stored as."""
@@ -71,6 +73,11 @@ class Worker:
         for v in self.vertices.tolist():
             values[v] = program.initial_value(v, num_vertices_total)
             halted[v] = not program.is_active_initially(v)
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.event(
+                "worker.init", worker=self.worker_id, vertices=self.num_vertices
+            )
 
     def active_count(self, incoming_destinations=frozenset()) -> int:
         """Vertices that will run this superstep (non-halted or woken)."""
@@ -104,6 +111,11 @@ class Worker:
             self.values[int(v)] = value
         for v, flag in snapshot["halted"].items():
             self.halted[int(v)] = bool(flag)
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.event(
+                "worker.restore", worker=self.worker_id, vertices=self.num_vertices
+            )
 
 
 def build_workers(partitioning, num_workers: int) -> list[Worker]:

@@ -26,6 +26,7 @@ from repro.exec.observers import (
     LifecycleObserver,
     MetricsObserver,
 )
+from repro.obs.events import TimelineEvent
 from repro.exec.workmodel import (
     WORK_EPS,
     AnalyticWorkModel,
@@ -53,6 +54,7 @@ __all__ = [
     "SlowBootFaults",
     "StepBudgetError",
     "SuperstepWorkModel",
+    "TimelineEvent",
     "WORK_EPS",
     "WorkModel",
 ]

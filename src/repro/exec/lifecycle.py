@@ -117,8 +117,7 @@ class ExecutionLifecycle:
                 catalog=self.catalog,
             )
 
-        for observer in self.observers:
-            observer.on_run_start(t)
+        self._notify("on_run_start", t)
 
         for _ in range(MAX_STEPS):
             if model.finished():
@@ -130,8 +129,7 @@ class ExecutionLifecycle:
                 # telemetry; legacy provisioners have none to publish.
                 telemetry = getattr(self.provisioner, "last_telemetry", None)
                 if telemetry is not None:
-                    for observer in self.observers:
-                        observer.on_decision(t, telemetry)
+                    self._notify("on_decision", t, telemetry)
 
             if config is None or choice != config:
                 # (Re)deploy: pay boot + load before any useful work.
@@ -140,20 +138,17 @@ class ExecutionLifecycle:
                 deployments += 1
                 eviction_at = self.market.eviction_time(config, t)
                 setup = model.perf.setup_time(config)
-                for observer in self.observers:
-                    eviction_at = observer.adjust_eviction_time(t, config, eviction_at)
-                    setup = observer.adjust_setup_time(t, config, setup)
+                eviction_at = self._adjust("adjust_eviction_time", t, config, eviction_at)
+                setup = self._adjust("adjust_setup_time", t, config, setup)
                 record("deploy", t)
-                for observer in self.observers:
-                    observer.on_deploy(t, config, setup)
+                self._notify("on_deploy", t, config, setup)
                 if eviction_at is not None and eviction_at < t + setup:
                     meter.bill(config, t, eviction_at)
                     t = eviction_at
                     evictions += 1
                     model.on_deploy_evicted()
                     record("eviction", t)
-                    for observer in self.observers:
-                        observer.on_eviction(t, config)
+                    self._notify("on_eviction", t, config)
                     config = None
                     continue
                 meter.bill(config, t, t + setup)
@@ -177,8 +172,7 @@ class ExecutionLifecycle:
                 # The strategy left no useful time on this deployment;
                 # force a fresh decision (normally the last resort).
                 record("forced-lrc", t)
-                for observer in self.observers:
-                    observer.on_forced_handover(t, config)
+                self._notify("on_forced_handover", t, config)
                 config = None
                 continue
 
@@ -206,8 +200,7 @@ class ExecutionLifecycle:
                 t = eviction_at
                 evictions += 1
                 record("eviction", t)
-                for observer in self.observers:
-                    observer.on_eviction(t, config)
+                self._notify("on_eviction", t, config)
                 if model.finished():
                     record("finish", t)
                     break
@@ -227,8 +220,7 @@ class ExecutionLifecycle:
                 record("checkpoint", t)
             else:
                 record("checkpoint-failed", t)
-            for observer in self.observers:
-                observer.on_checkpoint(t, config, write.seconds, write.success)
+            self._notify("on_checkpoint", t, config, write.seconds, write.success)
         else:
             raise StepBudgetError("execution exceeded the step budget")
 
@@ -248,14 +240,50 @@ class ExecutionLifecycle:
             values=model.final_values(),
             supersteps=model.superstep,
         )
-        for observer in self.observers:
-            observer.on_finish(t, result)
+        self._notify("on_finish", t, result)
         return result
 
     # ------------------------------------------------------------------
+    # Observer dispatch: a hook that raises must surface as a clear
+    # ExecutionError naming the observer, never as a half-run whose
+    # billing/progress state silently diverged from its events.
+    def _observer_error(self, observer, hook: str, exc: Exception) -> ExecutionError:
+        return ExecutionError(
+            f"lifecycle observer {type(observer).__name__}.{hook} raised "
+            f"{type(exc).__name__}: {exc}"
+        )
+
+    def _notify(self, hook: str, *args) -> None:
+        """Call an observation hook on every observer, in order."""
+        for observer in self.observers:
+            try:
+                getattr(observer, hook)(*args)
+            except ExecutionError:
+                raise
+            except Exception as exc:
+                raise self._observer_error(observer, hook, exc) from exc
+
+    def _adjust(self, hook: str, t, config, value):
+        """Chain an adjustment hook through every observer, in order."""
+        for observer in self.observers:
+            try:
+                value = getattr(observer, hook)(t, config, value)
+            except ExecutionError:
+                raise
+            except Exception as exc:
+                raise self._observer_error(observer, hook, exc) from exc
+        return value
+
     def _plan_write(self, t, config, save_time, index) -> CheckpointWritePlan:
         for observer in self.observers:
-            plan = observer.plan_checkpoint_write(t, config, save_time, index)
+            try:
+                plan = observer.plan_checkpoint_write(t, config, save_time, index)
+            except ExecutionError:
+                raise
+            except Exception as exc:
+                raise self._observer_error(
+                    observer, "plan_checkpoint_write", exc
+                ) from exc
             if plan is not None:
                 return plan
         return CheckpointWritePlan(seconds=save_time)

@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.cloud.configuration import Configuration
+from repro.obs.events import TimelineEvent
 
 
 @dataclass(frozen=True)
@@ -114,10 +115,27 @@ class MetricsObserver(LifecycleObserver):
 
     The runtime/simulator result already carries the headline counters;
     this observer adds what the result drops — failed checkpoint writes,
-    forced handovers, setup/checkpoint second totals, and a raw
-    ``(t, kind, config)`` timeline — in the style of the engine's
-    :mod:`repro.engine.metrics` reports.
+    forced handovers, setup/checkpoint second totals, and a typed
+    :class:`~repro.obs.events.TimelineEvent` timeline (tuple-compatible
+    with the historical ``(t, kind, config)`` entries and shared with
+    the :mod:`repro.obs` trace exporters).
     """
+
+    #: Canonical counter keys: :meth:`report` always emits every one
+    #: (0 when unobserved) so recurring-run reports have a stable schema.
+    REPORT_COUNTERS = (
+        "deployments",
+        "evictions",
+        "checkpoints",
+        "checkpoint_failures",
+        "forced_handovers",
+        "decisions",
+        "warm_decisions",
+        "cold_decisions",
+        "snapshot_reuses",
+        "memo_hits",
+        "memo_misses",
+    )
 
     def __init__(self):
         self.counters: dict = {}
@@ -131,7 +149,9 @@ class MetricsObserver(LifecycleObserver):
         self.counters[key] = self.counters.get(key, 0) + 1
 
     def _mark(self, t: float, kind: str, config: Configuration | None) -> None:
-        self.timeline.append((t, kind, config.name if config else "-"))
+        self.timeline.append(
+            TimelineEvent(t=t, kind=kind, config=config.name if config else "-")
+        )
 
     def on_run_start(self, t: float) -> None:
         """Reset all collected state for a fresh run."""
@@ -194,13 +214,22 @@ class MetricsObserver(LifecycleObserver):
         self._mark(t, "finish", None)
 
     def report(self) -> dict:
-        """Counters + timers + wall span as one flat dict."""
-        out = dict(self.counters)
+        """Counters + timers + wall span as one flat dict.
+
+        The key set is stable across runs: every canonical counter
+        (:data:`REPORT_COUNTERS`), both phase timers, and
+        ``decision_seconds``/``makespan_seconds`` are always present,
+        defaulting to 0 — so recurring-run reports line up column for
+        column instead of growing keys as events happen to occur.
+        """
+        out: dict = {key: 0 for key in self.REPORT_COUNTERS}
+        out.update(self.counters)
         out.update(self.timers.as_dict())
-        if self.decision_seconds:
-            out["decision_seconds"] = self.decision_seconds
+        out["decision_seconds"] = self.decision_seconds
         if self.started_at is not None and self.finished_at is not None:
             out["makespan_seconds"] = self.finished_at - self.started_at
+        else:
+            out["makespan_seconds"] = 0.0
         return out
 
     def format_report(self) -> str:

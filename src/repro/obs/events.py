@@ -1,0 +1,42 @@
+"""Typed timeline entries shared by metrics observers and exporters.
+
+:class:`TimelineEvent` replaces the bare ``(t, kind, config)`` tuples
+the :class:`~repro.exec.observers.MetricsObserver` used to collect.  It
+keeps full tuple back-compat (indexing, iteration, length) so existing
+consumers — and checkpointed reports — keep working, while giving the
+trace exporters a typed record to convert.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TimelineEvent:
+    """One lifecycle timeline entry.
+
+    Attributes:
+        t: simulated time of the event.
+        kind: what happened (``deploy``, ``checkpoint``, ``eviction``,
+            ``checkpoint-failed``, ``forced-lrc``, ``finish``).
+        config: configuration name involved, ``"-"`` when none.
+    """
+
+    t: float
+    kind: str
+    config: str = "-"
+
+    def as_tuple(self) -> tuple[float, str, str]:
+        """The historical ``(t, kind, config)`` tuple form."""
+        return (self.t, self.kind, self.config)
+
+    # Tuple back-compat: old consumers index/unpack timeline entries.
+    def __iter__(self):
+        return iter(self.as_tuple())
+
+    def __getitem__(self, index):
+        return self.as_tuple()[index]
+
+    def __len__(self) -> int:
+        return 3

@@ -1,0 +1,135 @@
+"""Human-readable rendering of a trace: per-run timeline + histograms.
+
+Backs ``python -m repro.experiments report --trace run.jsonl``: groups a
+JSONL event stream by trace (one trace per execution), prints each
+run's timeline in time order, then summarises span durations per name
+(count / total / mean / p50 / max) across the whole stream.
+
+Self-contained on purpose — importing the experiments package from here
+would drag the whole harness in for a text table.
+"""
+
+from __future__ import annotations
+
+from repro.obs.trace import SpanRecord
+
+
+def _table(rows: list[dict], columns: list[str]) -> str:
+    rendered = [[str(row.get(c, "")) for c in columns] for row in rows]
+    widths = [
+        max(len(c), *(len(r[i]) for r in rendered)) if rendered else len(c)
+        for i, c in enumerate(columns)
+    ]
+    lines = ["  ".join(c.ljust(w) for c, w in zip(columns, widths))]
+    lines.append("  ".join("-" * w for w in widths))
+    for r in rendered:
+        lines.append("  ".join(v.rjust(w) for v, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value: float) -> str:
+    if abs(value) >= 1000:
+        return f"{value:,.0f}"
+    if abs(value) >= 1:
+        return f"{value:.2f}"
+    return f"{value:.6f}".rstrip("0").rstrip(".") or "0"
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1, int(round(q * (len(sorted_values) - 1))))
+    return sorted_values[index]
+
+
+def group_by_trace(records) -> dict[int, list[SpanRecord]]:
+    """Trace id -> its records, each list sorted by start time."""
+    traces: dict[int, list[SpanRecord]] = {}
+    for record in records:
+        traces.setdefault(record.trace_id, []).append(record)
+    for trace in traces.values():
+        trace.sort(key=lambda r: (r.t0, r.span_id))
+    return traces
+
+
+def _trace_label(trace: list[SpanRecord]) -> str:
+    for record in trace:
+        if record.parent_id is None and record.kind == "span":
+            job = record.attr("job_id")
+            tenant = record.attr("tenant")
+            parts = [p for p in (tenant, job) if p and p != "-"]
+            if parts:
+                return " ".join(str(p) for p in parts)
+    return "(unlabeled)"
+
+
+def render_timeline(trace_id: int, trace: list[SpanRecord]) -> str:
+    """One run's records as a time-ordered table."""
+    rows = []
+    for record in trace:
+        attrs = ", ".join(
+            f"{k}={v}" for k, v in record.attrs
+            if k not in ("job_id", "tenant", "strategy", "clock")
+        )
+        rows.append(
+            {
+                "t0": _fmt(record.t0),
+                "dur_s": _fmt(record.duration) if record.kind == "span" else "-",
+                "kind": record.kind,
+                "name": record.name,
+                "attrs": attrs,
+            }
+        )
+    header = f"trace {trace_id} — {_trace_label(trace)} ({len(trace)} records)"
+    return header + "\n" + _table(rows, ["t0", "dur_s", "kind", "name", "attrs"])
+
+
+def render_span_summary(records) -> str:
+    """Span-duration histogram summary across every trace."""
+    durations: dict[str, list[float]] = {}
+    for record in records:
+        if record.kind == "span":
+            durations.setdefault(record.name, []).append(record.duration)
+    rows = []
+    for name in sorted(durations):
+        values = sorted(durations[name])
+        rows.append(
+            {
+                "span": name,
+                "count": len(values),
+                "total_s": _fmt(sum(values)),
+                "mean_s": _fmt(sum(values) / len(values)),
+                "p50_s": _fmt(_percentile(values, 0.5)),
+                "max_s": _fmt(values[-1]),
+            }
+        )
+    if not rows:
+        return "span durations: (no spans)"
+    return "span durations:\n" + _table(
+        rows, ["span", "count", "total_s", "mean_s", "p50_s", "max_s"]
+    )
+
+
+def render_trace_report(records, max_traces: int | None = None) -> str:
+    """Full report: per-trace timelines, then the span-duration summary.
+
+    Args:
+        records: :class:`SpanRecord` stream (e.g. from
+            :func:`repro.obs.export.read_jsonl`).
+        max_traces: cap on the number of per-trace timelines printed
+            (None = all); the summary always covers every record.
+    """
+    records = list(records)
+    if not records:
+        return "(empty trace)"
+    traces = group_by_trace(records)
+    parts = []
+    shown = 0
+    for trace_id in sorted(traces):
+        if max_traces is not None and shown >= max_traces:
+            parts.append(f"... {len(traces) - shown} more traces elided ...")
+            break
+        parts.append(render_timeline(trace_id, traces[trace_id]))
+        shown += 1
+    parts.append(render_span_summary(records))
+    return "\n\n".join(parts)

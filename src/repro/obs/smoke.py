@@ -1,0 +1,201 @@
+"""Exporter smoke check: trace real runs, validate every exporter.
+
+``python -m repro.obs.smoke --out obs-artifacts`` runs two traced
+workloads —
+
+1. a multi-tenant interleaved recurring simulation (two tenants sharing
+   one planning service), and
+2. a small engine-backed runtime execution (real supersteps),
+
+— then validates the observability pipeline end to end:
+
+* every JSONL line round-trips through :func:`~repro.obs.export.validate_record`,
+* the Prometheus exposition parses with the bundled
+  :func:`~repro.obs.export.parse_prometheus` validator,
+* the Chrome ``trace_event`` document is structurally sound
+  (Perfetto-loadable),
+* every ``superstep`` and ``plan`` span carries a run's correlation
+  (trace) ID — the cross-layer attribution contract.
+
+The validated artifacts (``trace.jsonl``, ``metrics.prom``,
+``trace.json``) land in ``--out``; CI runs this module and uploads the
+Chrome trace.  Exit code 0 = all checks passed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.obs import export
+from repro.obs.observer import TracingObserver
+from repro.obs.state import tracing
+
+
+def run_traced_workloads() -> tuple:
+    """Execute both smoke workloads under a fresh tracer/registry.
+
+    Returns:
+        ``(records, prometheus_text)``.
+    """
+    from repro.core.job import PAGERANK_PROFILE, SSSP_PROFILE
+    from repro.core.recurring import InterleavedRecurringDriver, RecurringJobSpec
+    from repro.core.simulator import ExecutionSimulator
+    from repro.engine.algorithms import PageRank
+    from repro.experiments.common import ExperimentSetup
+    from repro.graph import generators
+    from repro.runtime.runtime import HourglassRuntime
+    from repro.service.planning import PlanningService
+    from repro.utils.units import HOURS
+
+    setup = ExperimentSetup(seed=42, trace_days=10)
+    # Workload 1: two tenants interleaved over one planning service.
+    service = PlanningService(setup.market)
+    specs = []
+    for name, profile, period, offset in (
+        ("ranks", PAGERANK_PROFILE, 6 * HOURS, 0.0),
+        ("paths", SSSP_PROFILE, 4 * HOURS, 1 * HOURS),
+    ):
+        perf = setup.perf_model(profile)
+        specs.append(
+            RecurringJobSpec(
+                name=name,
+                simulator=ExecutionSimulator(
+                    setup.market,
+                    perf,
+                    setup.catalog,
+                    "hourglass",
+                    record_events=False,
+                    service=service,
+                    observers=(
+                        TracingObserver(
+                            job_id=name, tenant=name, strategy="hourglass"
+                        ),
+                    ),
+                ),
+                profile=profile,
+                period=period,
+                offset=offset,
+            )
+        )
+
+    # Workload 2: a real engine run — superstep/datastore/checkpoint
+    # records under the same tracer.  Built *before* tracing is enabled
+    # so the calibration run stays untraced; the per-deployment engines
+    # are constructed during execute(), inside the tracing scope.
+    graph = generators.community_graph(400, num_communities=8, avg_degree=8, seed=7)
+    runtime = HourglassRuntime(
+        graph,
+        lambda: PageRank(iterations=8),
+        setup.market,
+        setup.catalog,
+        service.provisioner("hourglass"),
+        num_micro_parts=16,
+        seed=2,
+        time_scale=3000.0,
+        data_scale=20_000,
+    )
+    runtime.observers = (
+        TracingObserver(job_id="engine-run", tenant="engine", strategy="hourglass"),
+    )
+    budget = runtime.perf.fixed_time(runtime.lrc) + runtime.perf.exec_time(runtime.lrc)
+
+    with tracing() as (tracer, metrics):
+        InterleavedRecurringDriver(specs).run(0.0, 2)
+        runtime.execute(0.0, 2.0 * budget)
+        records = tracer.records()
+        prometheus = metrics.to_prometheus()
+    return records, prometheus
+
+
+def run_checks(records, prometheus: str) -> list[tuple[str, str]]:
+    """Validate the exporters; returns a list of failures (empty = ok)."""
+    failures: list[tuple[str, str]] = []
+
+    # JSONL: every line must satisfy the event schema.
+    try:
+        lines = [ln for ln in export.to_jsonl(records).splitlines() if ln.strip()]
+        for line in lines:
+            export.validate_record(json.loads(line))
+        if len(lines) != len(records):
+            failures.append(("jsonl", f"{len(lines)} lines for {len(records)} records"))
+    except ValueError as exc:
+        failures.append(("jsonl", str(exc)))
+
+    # Prometheus: the registry's own output must parse cleanly.
+    try:
+        samples = export.parse_prometheus(prometheus)
+        if not samples:
+            failures.append(("prometheus", "no samples rendered"))
+    except ValueError as exc:
+        failures.append(("prometheus", str(exc)))
+
+    # Chrome trace: structural checks on the trace_event document.
+    doc = json.loads(json.dumps(export.to_chrome_trace(records), default=lambda v: v.item()))
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        failures.append(("chrome", "no traceEvents"))
+    else:
+        for ev in events:
+            if ev.get("ph") not in ("X", "i", "M"):
+                failures.append(("chrome", f"unexpected phase {ev.get('ph')!r}"))
+                break
+            if ev["ph"] == "X" and (ev.get("dur", -1.0) < 0 or "ts" not in ev):
+                failures.append(("chrome", f"malformed complete event {ev['name']!r}"))
+                break
+
+    # Correlation: every superstep/plan span must inherit a run's trace
+    # id — that is what makes a superstep attributable to its plan
+    # requests.
+    run_traces = {r.trace_id for r in records if r.name == "run"}
+    supersteps = [r for r in records if r.name == "superstep"]
+    plans = [r for r in records if r.name == "plan"]
+    if not supersteps:
+        failures.append(("correlation", "no superstep spans recorded"))
+    if not plans:
+        failures.append(("correlation", "no plan spans recorded"))
+    orphans = [r for r in supersteps + plans if r.trace_id not in run_traces]
+    if orphans:
+        failures.append(
+            ("correlation", f"{len(orphans)} spans outside any run trace")
+        )
+    return failures
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.smoke", description=__doc__
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path("obs-artifacts"),
+        help="directory for the validated artifacts",
+    )
+    args = parser.parse_args(argv)
+
+    records, prometheus = run_traced_workloads()
+    failures = run_checks(records, prometheus)
+
+    args.out.mkdir(parents=True, exist_ok=True)
+    export.write_jsonl(records, args.out / "trace.jsonl")
+    (args.out / "metrics.prom").write_text(prometheus)
+    export.write_chrome_trace(records, args.out / "trace.json")
+    # Round-trip the archive format as the final check.
+    reloaded = export.read_jsonl(args.out / "trace.jsonl")
+    if len(reloaded) != len(records):
+        failures.append(("jsonl", "round-trip changed the record count"))
+
+    print(f"obs smoke: {len(records)} records, artifacts in {args.out}/")
+    for name, detail in failures:
+        print(f"FAIL [{name}] {detail}")
+    if not failures:
+        print("all exporter checks passed")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

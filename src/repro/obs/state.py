@@ -1,0 +1,78 @@
+"""Process-wide observability state: the installed tracer and registry.
+
+Instrumented layers (engine, datastore, planning service, lifecycle
+observers) default to the *process* tracer and metrics registry held
+here.  Out of the box the tracer is the disabled :data:`NULL_TRACER`,
+so every instrumentation site reduces to one ``tracer.enabled`` branch;
+:func:`enable` swaps in a live :class:`~repro.obs.trace.Tracer`, and
+the :func:`tracing` context manager scopes that to a block::
+
+    with obs.tracing() as (tracer, metrics):
+        sim.run(job)
+    export.write_jsonl(tracer.records(), "run.jsonl")
+
+Layers that captured the tracer at construction time (the engine does,
+for hot-path cheapness) see the tracer installed when they were built —
+enable tracing before building what you want traced.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import NULL_TRACER, Tracer
+
+_tracer = NULL_TRACER
+_metrics = MetricsRegistry()
+
+
+def get_tracer():
+    """The process tracer (:data:`NULL_TRACER` unless enabled)."""
+    return _tracer
+
+
+def get_metrics() -> MetricsRegistry:
+    """The process metrics registry (always present; updates are gated
+    on the tracer being enabled at the instrumentation sites)."""
+    return _metrics
+
+
+def enable(tracer: Tracer | None = None, metrics: MetricsRegistry | None = None):
+    """Install a live tracer (and optionally a fresh registry).
+
+    Returns:
+        ``(tracer, metrics)`` — the now-installed pair.
+    """
+    global _tracer, _metrics
+    _tracer = tracer if tracer is not None else Tracer()
+    if metrics is not None:
+        _metrics = metrics
+    return _tracer, _metrics
+
+
+def disable():
+    """Put the disabled tracer back; the metrics registry is kept."""
+    global _tracer
+    _tracer = NULL_TRACER
+    return _tracer
+
+
+@contextmanager
+def tracing(tracer: Tracer | None = None, metrics: MetricsRegistry | None = None):
+    """Enable tracing for a block; restores the previous state after.
+
+    Yields ``(tracer, metrics)``; with no arguments a fresh tracer and a
+    fresh registry are installed, so the block's records and series are
+    exactly the block's.
+    """
+    global _tracer, _metrics
+    previous = (_tracer, _metrics)
+    installed = enable(
+        tracer if tracer is not None else Tracer(),
+        metrics if metrics is not None else MetricsRegistry(),
+    )
+    try:
+        yield installed
+    finally:
+        _tracer, _metrics = previous

@@ -53,6 +53,7 @@ from repro.core.expected_cost import ApproximateCostEstimator, CacheStats, Decis
 from repro.core.provisioner import ProvisioningContext
 from repro.core.slack import SlackModel
 from repro.core.warning import NO_WARNING, WarningPolicy
+from repro.obs.state import get_metrics, get_tracer
 
 
 class PlanError(ValueError):
@@ -158,6 +159,12 @@ class PlanningService:
         estimator_factory: estimator class to instantiate (tests swap
             in the recursive reference oracle).
         snapshot_capacity: how many (catalog, t) rate snapshots to keep.
+        tracer: explicit :class:`~repro.obs.trace.Tracer` for ``plan``
+            spans (default: the process tracer, resolved per call).
+        metrics: explicit :class:`~repro.obs.metrics.MetricsRegistry`
+            (default: the process registry).
+        decision_hooks: callables ``hook(request, result)`` invoked
+            after every decision (see :meth:`add_decision_hook`).
     """
 
     def __init__(
@@ -170,8 +177,14 @@ class PlanningService:
         max_fail_depth: int = 2,
         estimator_factory=ApproximateCostEstimator,
         snapshot_capacity: int = 256,
+        tracer=None,
+        metrics=None,
+        decision_hooks=(),
     ):
         self.market = market
+        self.tracer = tracer
+        self.metrics = metrics
+        self._decision_hooks = list(decision_hooks)
         self.warning = warning
         self.slack_grid = slack_grid
         self.work_grid = work_grid
@@ -348,6 +361,48 @@ class PlanningService:
         return rates, False
 
     # ------------------------------------------------------------------
+    # Decision hook + tracing
+    # ------------------------------------------------------------------
+    def add_decision_hook(self, hook) -> None:
+        """Register ``hook(request, result)`` to run after every plan.
+
+        Hooks fire for :meth:`plan` and :meth:`plan_many` alike, in
+        registration order, after the decision is made — observation
+        only, a hook cannot change the result.
+        """
+        self._decision_hooks.append(hook)
+
+    def _publish(self, request: PlanRequest, result: PlanResult) -> PlanResult:
+        """Emit the plan span/metric and fire decision hooks."""
+        tr = self.tracer if self.tracer is not None else get_tracer()
+        if tr.enabled:
+            tel = result.telemetry
+            tr.record_span(
+                "plan",
+                request.t,
+                request.t + tel.latency_s,
+                strategy=request.strategy,
+                config=result.config.name,
+                latency_s=tel.latency_s,
+                warm=tel.estimator_reused,
+                memo_hits=tel.memo_hits,
+                memo_misses=tel.memo_misses,
+                snapshot_reused=tel.snapshot_reused,
+            )
+            mx = self.metrics if self.metrics is not None else get_metrics()
+            mx.histogram(
+                "plan_latency_seconds",
+                "Wall-clock latency per planning-service decision",
+            ).observe(
+                tel.latency_s,
+                strategy=request.strategy,
+                warm=tel.estimator_reused,
+            )
+        for hook in self._decision_hooks:
+            hook(request, result)
+        return result
+
+    # ------------------------------------------------------------------
     # Planning
     # ------------------------------------------------------------------
     def plan(self, request: PlanRequest) -> PlanResult:
@@ -357,7 +412,9 @@ class PlanningService:
         with self._mutex:
             self._plans += 1
         if request.strategy != "hourglass":
-            return self._plan_baseline(request, catalog, started)
+            return self._publish(
+                request, self._plan_baseline(request, catalog, started)
+            )
         grids = self.resolved_grids(
             request.slack_model,
             request.t,
@@ -380,17 +437,20 @@ class PlanningService:
                 rates=rates,
             )
             after = entry.estimator.cache_stats()
-        return PlanResult(
-            decision=decision,
-            telemetry=PlanTelemetry(
-                latency_s=time.perf_counter() - started,
-                memo_hits=after.hits - before.hits,
-                memo_misses=after.misses - before.misses,
-                memo_entries=after.entries,
-                invalidations=after.invalidations - before.invalidations,
-                epoch=after.epoch,
-                snapshot_reused=snapshot_reused,
-                estimator_reused=warm,
+        return self._publish(
+            request,
+            PlanResult(
+                decision=decision,
+                telemetry=PlanTelemetry(
+                    latency_s=time.perf_counter() - started,
+                    memo_hits=after.hits - before.hits,
+                    memo_misses=after.misses - before.misses,
+                    memo_entries=after.entries,
+                    invalidations=after.invalidations - before.invalidations,
+                    epoch=after.epoch,
+                    snapshot_reused=snapshot_reused,
+                    estimator_reused=warm,
+                ),
             ),
         )
 
@@ -487,6 +547,8 @@ class PlanningService:
                     warm = True  # later members of the batch hit warm state
         with self._mutex:
             self._batches += 1
+        for request, result in zip(requests, results):
+            self._publish(request, result)
         return results  # type: ignore[return-value]
 
     # ------------------------------------------------------------------
