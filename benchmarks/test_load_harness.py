@@ -1,0 +1,66 @@
+"""Load-harness benchmark: latency percentiles and miss rates at scale.
+
+Runs the seeded multi-tenant trace end to end (admission, batch
+planning, execution, interleaved recurring tenants) and records the
+numbers the harness exists to measure: plan-latency p50/p95/p99, queue
+wait, cache hit rate, deadline-miss and window-violation rates, and the
+three Granny-style costs.  The table lands in
+``benchmarks/results/load_harness.txt``.
+
+Assertions are sanity floors, not performance gates — the CI benchmarks
+job is non-blocking and machines vary.  The deterministic fingerprint is
+asserted exactly: simulated outcomes must not depend on the machine.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.report import format_table
+from repro.load import HarnessConfig, LoadHarness, LoadTraceConfig
+from repro.obs.metrics import MetricsRegistry
+
+JOBS = 400
+SEED = 42
+
+
+def _run():
+    config = HarnessConfig(
+        trace=LoadTraceConfig(seed=SEED, num_jobs=JOBS, num_tenants=20),
+        trace_days=14,
+        recurring_tenants=4,
+        recurring_periods=6,
+    )
+    return LoadHarness(config, metrics=MetricsRegistry()).run()
+
+
+def test_load_harness_percentiles(save_result):
+    """One seeded trace; record percentiles, rates and costs."""
+    report = _run()
+    rows = [
+        {
+            "jobs": report.num_jobs,
+            "planned": report.planned,
+            "plan_p50_ms": round(report.plan_p50_ms, 3),
+            "plan_p95_ms": round(report.plan_p95_ms, 3),
+            "plan_p99_ms": round(report.plan_p99_ms, 3),
+            "qwait_p99_ms": round(report.queue_wait_p99_ms, 3),
+            "cache_hits": f"{100 * report.cache_hit_rate:.1f}%",
+            "miss_rate": f"{100 * report.miss_rate:.1f}%",
+            "recur_violation": f"{100 * report.recurring_violation_rate:.1f}%",
+            "idle_machine_s": round(report.provider_idle_machine_s, 1),
+            "user_cost_$": round(report.user_cost_dollars, 2),
+            "fingerprint": report.fingerprint()[:12],
+        }
+    ]
+    save_result(
+        "load_harness",
+        format_table(rows, title=f"Load harness — {JOBS} jobs, seed {SEED}"),
+    )
+    assert report.planned == report.offered  # default capacity absorbs 400
+    assert report.executed == report.planned
+    assert report.plan_p99_ms >= report.plan_p50_ms > 0.0
+    assert report.cache_hit_rate > 0.2  # grid pinning keeps estimators warm
+    assert report.recurring_runs > 0
+    assert report.user_cost_dollars > 0.0
+    # Bit-identical rerun: the simulated outcome is a pure function of
+    # the seed, never of this machine's clock.
+    assert _run().fingerprint() == report.fingerprint()

@@ -30,15 +30,30 @@ from repro.exec.events import RunResult
 
 @dataclass(frozen=True)
 class RecurringOutcome:
-    """Aggregate result of a recurring schedule."""
+    """Aggregate result of a recurring schedule.
+
+    ``skipped`` counts period windows an overrunning previous execution
+    blew straight through: the analysis those windows were supposed to
+    refresh never ran at all.  A skipped window is at least as bad an
+    SLO violation as a late run, so :attr:`violation_rate` folds both in
+    — :attr:`miss_rate` alone *understates* violations exactly when the
+    system is overloaded (executed-run denominators shrink as more
+    windows are skipped).
+    """
 
     results: tuple[RunResult, ...]
     period: float
+    skipped: int = 0
 
     @property
     def runs(self) -> int:
         """Number of executions performed."""
         return len(self.results)
+
+    @property
+    def windows(self) -> int:
+        """Period windows accounted for: executed runs plus skipped."""
+        return self.runs + self.skipped
 
     @property
     def total_cost(self) -> float:
@@ -52,8 +67,27 @@ class RecurringOutcome:
 
     @property
     def miss_rate(self) -> float:
-        """Fraction of executions that missed their deadline."""
+        """Fraction of *executed* runs that missed their deadline."""
         return self.missed / self.runs if self.runs else 0.0
+
+    @property
+    def skipped_rate(self) -> float:
+        """Fraction of accounted windows that never ran at all."""
+        return self.skipped / self.windows if self.windows else 0.0
+
+    @property
+    def violations(self) -> int:
+        """Missed deadlines plus windows that never ran."""
+        return self.missed + self.skipped
+
+    @property
+    def violation_rate(self) -> float:
+        """Fraction of accounted windows whose SLO was violated.
+
+        The overload-honest metric: ``(missed + skipped) / (runs +
+        skipped)``.
+        """
+        return self.violations / self.windows if self.windows else 0.0
 
     @property
     def total_evictions(self) -> int:
@@ -93,19 +127,24 @@ class RecurringJobDriver:
         if num_periods < 1:
             raise ValueError("num_periods must be >= 1")
         results: list[RunResult] = []
+        skipped = 0
         t = start_time
         for i in range(num_periods):
             release = max(t, start_time + i * self.period)
             deadline = start_time + (i + 1) * self.period
             if deadline <= release:
                 # The previous run blew straight through this window;
-                # skip to the next window it can legally start in.
+                # the analysis it would have refreshed never runs — an
+                # SLO violation counted in RecurringOutcome.skipped.
+                skipped += 1
                 continue
             job = JobSpec(profile=self.profile, release_time=release, deadline=deadline)
             result = self.simulator.run(job)
             results.append(result)
             t = result.finish_time
-        return RecurringOutcome(results=tuple(results), period=self.period)
+        return RecurringOutcome(
+            results=tuple(results), period=self.period, skipped=skipped
+        )
 
 
 @dataclass(frozen=True)
@@ -137,13 +176,15 @@ class _TenantState:
         self.start = start_time + spec.offset
         self.t = self.start  # earliest next start (last finish time)
         self.next_period = 0
+        self.skipped = 0
         self.results: list[RunResult] = []
 
     def next_window(self, num_periods: int) -> tuple[float, float] | None:
         """(release, deadline) of the next runnable window, if any.
 
-        Windows the previous run blew straight through are skipped, as
-        in :meth:`RecurringJobDriver.run`.
+        Windows the previous run blew straight through are skipped —
+        and *counted* (``self.skipped``), as in
+        :meth:`RecurringJobDriver.run`.
         """
         while self.next_period < num_periods:
             i = self.next_period
@@ -151,6 +192,7 @@ class _TenantState:
             deadline = self.start + (i + 1) * self.spec.period
             if deadline > release:
                 return release, deadline
+            self.skipped += 1
             self.next_period += 1
         return None
 
@@ -212,7 +254,9 @@ class InterleavedRecurringDriver:
                 heapq.heappush(heap, (window[0], idx))
         return {
             tenant.spec.name: RecurringOutcome(
-                results=tuple(tenant.results), period=tenant.spec.period
+                results=tuple(tenant.results),
+                period=tenant.spec.period,
+                skipped=tenant.skipped,
             )
             for tenant in tenants
         }

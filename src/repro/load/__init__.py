@@ -1,0 +1,34 @@
+"""Trace-driven multi-tenant load harness (the standing macro-benchmark).
+
+Generates thousands of tenant jobs as a seeded arrival trace (Poisson
+arrivals with diurnal + burst modulation, mixed algorithms, graph
+scales, slacks and periods), pushes them through an admission-controlled
+:class:`~repro.service.planning.PlanningService` batch path and the
+:class:`~repro.core.recurring.InterleavedRecurringDriver`, and reports
+plan-latency percentiles, cache hit rates, deadline-miss / skipped-
+window rates and the three Granny-style costs (provider idle
+machine-seconds, user cost, service time)::
+
+    python -m repro.load --jobs 1000 --seed 42
+
+See :mod:`repro.load.trace` (workload generation),
+:mod:`repro.load.admission` (bounded-queue admission control),
+:mod:`repro.load.harness` (the driver) and :mod:`repro.load.report`.
+"""
+
+from repro.load.admission import AdmissionController, AdmissionStats
+from repro.load.harness import HarnessConfig, LoadHarness
+from repro.load.report import LoadReport
+from repro.load.trace import ArrivalTrace, LoadTraceConfig, TraceJob, generate_trace
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionStats",
+    "ArrivalTrace",
+    "HarnessConfig",
+    "LoadHarness",
+    "LoadReport",
+    "LoadTraceConfig",
+    "TraceJob",
+    "generate_trace",
+]

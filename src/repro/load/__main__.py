@@ -1,0 +1,110 @@
+"""CLI for the load harness.
+
+Run a seeded trace through admission + batch planning + execution and
+print the report::
+
+    python -m repro.load --jobs 1000 --seed 42
+    python -m repro.load --jobs 100 --capacity 16 --queue-limit 32 \\
+        --out load-artifacts
+
+``--out DIR`` additionally writes ``report.txt``, the arrival trace as
+``trace.jsonl`` (replayable via :meth:`ArrivalTrace.from_jsonl`) and the
+``load_*`` metrics in Prometheus text format as ``metrics.prom``.
+
+The process exits non-zero if the run is degenerate (nothing admitted or
+nothing planned), which is what the CI smoke job keys off.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.load.harness import HarnessConfig, LoadHarness
+from repro.load.trace import LoadTraceConfig, generate_trace
+from repro.obs.metrics import MetricsRegistry
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="python -m repro.load", description=__doc__)
+    parser.add_argument("--jobs", type=int, default=1000, help="arrivals to generate")
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--tenants", type=int, default=20)
+    parser.add_argument(
+        "--arrivals-per-hour", type=float, default=120.0, help="mean offered rate"
+    )
+    parser.add_argument(
+        "--window", type=float, default=60.0, help="planning window seconds"
+    )
+    parser.add_argument(
+        "--capacity", type=int, default=64, help="requests planned per window"
+    )
+    parser.add_argument(
+        "--queue-limit", type=int, default=256, help="admission backlog bound"
+    )
+    parser.add_argument("--strategy", default="hourglass")
+    parser.add_argument("--trace-days", type=int, default=14)
+    parser.add_argument(
+        "--recurring-tenants", type=int, default=4, help="interleaved recurring phase"
+    )
+    parser.add_argument("--recurring-periods", type=int, default=6)
+    parser.add_argument(
+        "--plan-only",
+        action="store_true",
+        help="skip execution (latency/admission sections only)",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=None, help="artifact directory (report/trace/metrics)"
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    """Run the harness; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    trace_config = LoadTraceConfig(
+        seed=args.seed,
+        num_jobs=args.jobs,
+        num_tenants=args.tenants,
+        arrivals_per_hour=args.arrivals_per_hour,
+    )
+    config = HarnessConfig(
+        trace=trace_config,
+        window_s=args.window,
+        capacity_per_window=args.capacity,
+        queue_limit=args.queue_limit,
+        strategy=args.strategy,
+        execute=not args.plan_only,
+        trace_days=args.trace_days,
+        recurring_tenants=args.recurring_tenants,
+        recurring_periods=args.recurring_periods,
+    )
+    metrics = MetricsRegistry()
+    trace = generate_trace(trace_config)
+    report = LoadHarness(config, metrics=metrics).run(trace)
+    rendered = report.render()
+    print(rendered)
+
+    if args.out is not None:
+        args.out.mkdir(parents=True, exist_ok=True)
+        (args.out / "report.txt").write_text(rendered + "\n")
+        trace.to_jsonl(args.out / "trace.jsonl")
+        (args.out / "metrics.prom").write_text(metrics.to_prometheus())
+        print(f"\n[artifacts written to {args.out}]")
+
+    problems = []
+    if report.admitted == 0:
+        problems.append("no jobs admitted")
+    if report.planned == 0:
+        problems.append("no jobs planned")
+    if config.execute and report.executed == 0:
+        problems.append("no jobs executed")
+    if problems:
+        print(f"DEGENERATE RUN: {'; '.join(problems)}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,430 @@
+"""The load harness: an arrival trace driven through the whole stack.
+
+One :class:`LoadHarness` run is the standing macro-benchmark:
+
+1. :func:`~repro.load.trace.generate_trace` samples the seeded
+   multi-tenant workload.
+2. Arrivals are chopped into fixed planning windows; each window flows
+   through the :class:`~repro.load.admission.AdmissionController`
+   (bounded queue, tail-drop) and the admitted jobs are planned in one
+   :meth:`~repro.service.planning.PlanningService.plan_many` batch with
+   per-slot errors — a saturating trace degrades job-by-job, never as a
+   whole-batch :class:`~repro.service.planning.PlanError`.
+3. Planned jobs execute through :class:`ExecutionSimulator` against the
+   same market, sharing the service's warm caches; queueing delay is
+   charged in *simulated* time (a job admitted two windows late starts
+   two windows late, with that much less slack).
+4. A set of recurring tenants runs through
+   :class:`~repro.core.recurring.InterleavedRecurringDriver` on the same
+   service, exercising the overload-honest skipped-window accounting.
+
+Everything simulated is deterministic in the seed
+(:meth:`LoadReport.fingerprint` pins it); only the wall-clock latency
+percentiles vary run to run.  Aggregates are also published to a
+:class:`~repro.obs.metrics.MetricsRegistry` (``load_*`` series) so a
+traced run exports through the standard :mod:`repro.obs` pipelines.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.core.job import PAPER_PROFILES, JobSpec
+from repro.core.recurring import InterleavedRecurringDriver, RecurringJobSpec
+from repro.core.simulator import ExecutionSimulator
+from repro.core.slack import SlackModel
+from repro.exec.events import RunResult
+from repro.experiments.common import ExperimentSetup
+from repro.load.admission import AdmissionController
+from repro.load.report import LoadReport, percentile
+from repro.load.trace import ArrivalTrace, LoadTraceConfig, TraceJob, generate_trace
+from repro.obs.state import get_metrics
+from repro.service.planning import PlanningService, PlanRequest, PlanResult
+from repro.utils.rng import derive_rng
+from repro.utils.units import HOURS
+
+
+@dataclass(frozen=True)
+class HarnessConfig:
+    """One load run: the workload plus the service-shaped knobs.
+
+    Attributes:
+        trace: the workload generator config (seed lives here).
+        window_s: planning-window length; arrivals inside one window are
+            admitted and planned together at the window's close.
+        capacity_per_window: service capacity per window (requests the
+            admission layer releases into one ``plan_many`` batch).
+        queue_limit: admission backlog bound; beyond it, tail-drop.
+        strategy: planning strategy for every job.
+        execute: run planned jobs through the simulator (False = plan
+            only; deadline/cost sections of the report stay zero).
+        trace_days: market-trace length backing the run.
+        recurring_tenants / recurring_periods: size of the interleaved
+            recurring phase (0 tenants disables it).
+    """
+
+    trace: LoadTraceConfig = field(default_factory=LoadTraceConfig)
+    window_s: float = 60.0
+    capacity_per_window: int = 64
+    queue_limit: int = 256
+    strategy: str = "hourglass"
+    execute: bool = True
+    trace_days: int = 14
+    recurring_tenants: int = 4
+    recurring_periods: int = 6
+
+    def __post_init__(self):
+        if self.window_s <= 0:
+            raise ValueError("window_s must be positive")
+        if self.recurring_tenants < 0 or self.recurring_periods < 1:
+            raise ValueError("recurring_tenants >= 0, recurring_periods >= 1")
+
+
+class LoadHarness:
+    """Drives one :class:`HarnessConfig` end to end.
+
+    Args:
+        config: the run description.
+        metrics: registry for the ``load_*`` series (default: the
+            process registry).
+    """
+
+    def __init__(self, config: HarnessConfig, metrics=None):
+        self.config = config
+        self.metrics = metrics if metrics is not None else get_metrics()
+        self.setup = ExperimentSetup(
+            seed=config.trace.seed, trace_days=config.trace_days
+        )
+        self.service = PlanningService(self.setup.market)
+        self._models: dict[tuple[str, float], tuple] = {}
+        self._simulators: dict[tuple[str, float], ExecutionSimulator] = {}
+        self._recurring_apps: dict[str, tuple[str, float]] = {}
+
+    # ------------------------------------------------------------------
+    # Per-(app, scale) plumbing
+    # ------------------------------------------------------------------
+    def _model_for(self, app: str, scale: float):
+        """(profile, perf, lrc, grids) for one application/scale mix cell.
+
+        Memo grids are pinned per mix cell (resolved once, at the cell's
+        median slack) exactly like a tenant's provisioner session pins
+        its grids: every request of the cell then lands in one estimator
+        key, so the batch path shares warm memo across tenants instead
+        of resolving a fresh grid — and a cold estimator — per slack
+        value.
+        """
+        key = (app, scale)
+        entry = self._models.get(key)
+        if entry is None:
+            profile = PAPER_PROFILES[app].scaled(scale)
+            perf = self.setup.perf_model(profile)
+            lrc = self.setup.lrc(perf)
+            lo, hi = self.config.trace.slack_range
+            mid = 0.5 * (lo + hi)
+            anchor = SlackModel(
+                perf=perf,
+                lrc=lrc,
+                deadline=perf.fixed_time(lrc) + perf.exec_time(lrc) * (1.0 + mid),
+            )
+            grids = self.service.resolved_grids(anchor, 0.0, 1.0)
+            entry = self._models[key] = (profile, perf, lrc, grids)
+        return entry
+
+    def _simulator_for(self, app: str, scale: float) -> ExecutionSimulator:
+        key = (app, scale)
+        sim = self._simulators.get(key)
+        if sim is None:
+            _, perf, _, _ = self._model_for(app, scale)
+            sim = self._simulators[key] = ExecutionSimulator(
+                self.setup.market,
+                perf,
+                self.setup.catalog,
+                self.config.strategy,
+                record_events=False,
+                service=self.service,
+            )
+        return sim
+
+    def _deadline_for(self, job: TraceJob) -> float:
+        """Arrival-anchored deadline (fixed + (1 + slack) x execution)."""
+        _, perf, lrc, _ = self._model_for(job.app, job.scale)
+        release = self.setup.market.start + job.arrival_s
+        return (
+            release
+            + perf.fixed_time(lrc)
+            + perf.exec_time(lrc) * (1.0 + job.slack_fraction)
+        )
+
+    def _job_budget_s(self) -> float:
+        """Worst-case simulated span one trace job might need."""
+        worst = 0.0
+        for app, _ in self.config.trace.app_mix:
+            for scale in self.config.trace.scales:
+                _, perf, lrc, _ = self._model_for(app, scale)
+                horizon = perf.fixed_time(lrc) + perf.exec_time(lrc) * (
+                    1.0 + self.config.trace.slack_range[1]
+                )
+                worst = max(worst, horizon)
+        return 4.0 * worst
+
+    # ------------------------------------------------------------------
+    # The run
+    # ------------------------------------------------------------------
+    def run(self, trace: ArrivalTrace | None = None) -> LoadReport:
+        """Execute the configured load run; returns the report."""
+        cfg = self.config
+        if trace is None:
+            trace = generate_trace(cfg.trace)
+        market = self.setup.market
+        budget = self._job_budget_s()
+        needed = trace.span_s + budget + cfg.queue_limit * cfg.window_s
+        if market.start + needed > market.horizon:
+            raise ValueError(
+                f"market trace too short for this workload: needs ~{needed / HOURS:.1f} h,"
+                f" have {(market.horizon - market.start) / HOURS:.1f} h —"
+                " raise trace_days or shrink the trace"
+            )
+
+        controller = AdmissionController(
+            capacity_per_window=cfg.capacity_per_window, queue_limit=cfg.queue_limit
+        )
+        latencies: list[float] = []
+        queue_waits: list[float] = []
+        rejected_overload = 0
+        rejected_invalid = 0
+        deadline_lost = 0
+        planned = 0
+        executed = 0
+        missed = 0
+        provider_idle = 0.0
+        user_cost = 0.0
+        service_time = 0.0
+
+        num_windows = max(1, math.ceil(trace.span_s / cfg.window_s) + 1)
+        job_iter = iter(trace.jobs)
+        pending_job = next(job_iter, None)
+        window = 0
+        while True:
+            window_end = market.start + (window + 1) * cfg.window_s
+            arrivals: list[TraceJob] = []
+            while (
+                pending_job is not None
+                and market.start + pending_job.arrival_s < window_end
+            ):
+                arrivals.append(pending_job)
+                pending_job = next(job_iter, None)
+            admitted, rejected = controller.offer(arrivals)
+            rejected_overload += len(rejected)
+
+            requests: list[PlanRequest] = []
+            request_jobs: list[TraceJob] = []
+            for entry in admitted:
+                job: TraceJob = entry.item  # type: ignore[assignment]
+                deadline = self._deadline_for(job)
+                if deadline <= window_end:
+                    # Queued past its whole deadline: the window is
+                    # unservable — an SLO loss, not a planner error.
+                    deadline_lost += 1
+                    continue
+                _, perf, lrc, grids = self._model_for(job.app, job.scale)
+                requests.append(
+                    PlanRequest(
+                        slack_model=SlackModel(perf=perf, lrc=lrc, deadline=deadline),
+                        catalog=self.setup.catalog,
+                        t=window_end,
+                        work_left=1.0,
+                        strategy=cfg.strategy,
+                        slack_grid=grids[0],
+                        work_grid=grids[1],
+                    )
+                )
+                request_jobs.append(job)
+
+            if requests:
+                slots = self.service.plan_many(requests, return_exceptions=True)
+                for job, slot in zip(request_jobs, slots):
+                    if not isinstance(slot, PlanResult):
+                        rejected_invalid += 1
+                        continue
+                    planned += 1
+                    latencies.append(slot.telemetry.latency_s)
+                    queue_waits.append(slot.telemetry.queue_wait_s)
+                    if not cfg.execute:
+                        continue
+                    result = self._execute(job, window_end)
+                    executed += 1
+                    missed += result.missed_deadline
+                    idle, dollars, span = self._granny_costs(job, result)
+                    provider_idle += idle
+                    user_cost += dollars
+                    service_time += span
+
+            window += 1
+            if window >= num_windows and pending_job is None and not controller.backlog:
+                break
+
+        recurring = self._run_recurring()
+        for name, outcome in recurring.items():
+            app, scale = self._recurring_apps[name]
+            ideal = self._ideal_seconds(app, scale)
+            for result in outcome.results:
+                billed = result.spot_seconds + result.on_demand_seconds
+                user_cost += result.cost
+                # Scheduled release (deadline - period) anchors service
+                # time, so an overrun-delayed run is charged its wait.
+                service_time += result.finish_time - (result.deadline - outcome.period)
+                provider_idle += max(0.0, billed - ideal)
+        rec_runs = sum(o.runs for o in recurring.values())
+        rec_missed = sum(o.missed for o in recurring.values())
+        rec_skipped = sum(o.skipped for o in recurring.values())
+        rec_windows = rec_runs + rec_skipped
+
+        stats = self.service.cache_stats()
+        svc = self.service.service_stats()
+        lookups = stats.hits + stats.misses
+        snapshots = svc["snapshot_hits"] + svc["snapshot_misses"]
+        report = LoadReport(
+            seed=cfg.trace.seed,
+            num_jobs=cfg.trace.num_jobs,
+            num_tenants=cfg.trace.num_tenants,
+            trace_checksum=trace.checksum(),
+            trace_span_s=trace.span_s,
+            offered=controller.stats.offered,
+            admitted=controller.stats.admitted,
+            planned=planned,
+            rejected_overload=rejected_overload,
+            rejected_invalid=rejected_invalid,
+            deadline_lost=deadline_lost,
+            queued=controller.stats.queued,
+            queue_peak=controller.stats.queue_peak,
+            cache_hit_rate=stats.hits / lookups if lookups else 0.0,
+            snapshot_hit_rate=svc["snapshot_hits"] / snapshots if snapshots else 0.0,
+            plan_p50_ms=1000 * percentile(latencies, 50),
+            plan_p95_ms=1000 * percentile(latencies, 95),
+            plan_p99_ms=1000 * percentile(latencies, 99),
+            queue_wait_p50_ms=1000 * percentile(queue_waits, 50),
+            queue_wait_p95_ms=1000 * percentile(queue_waits, 95),
+            queue_wait_p99_ms=1000 * percentile(queue_waits, 99),
+            executed=executed,
+            missed=missed,
+            miss_rate=missed / executed if executed else 0.0,
+            recurring_tenants=len(recurring),
+            recurring_runs=rec_runs,
+            recurring_missed=rec_missed,
+            recurring_skipped=rec_skipped,
+            recurring_miss_rate=rec_missed / rec_runs if rec_runs else 0.0,
+            recurring_skipped_rate=rec_skipped / rec_windows if rec_windows else 0.0,
+            recurring_violation_rate=(rec_missed + rec_skipped) / rec_windows
+            if rec_windows
+            else 0.0,
+            provider_idle_machine_s=provider_idle,
+            user_cost_dollars=user_cost,
+            service_time_s=service_time,
+        )
+        self._publish_metrics(report, latencies, queue_waits)
+        return report
+
+    # ------------------------------------------------------------------
+    def _execute(self, job: TraceJob, release: float) -> RunResult:
+        """Run one planned job through the simulator (release = plan time)."""
+        profile, _, _, _ = self._model_for(job.app, job.scale)
+        sim = self._simulator_for(job.app, job.scale)
+        spec = JobSpec(
+            profile=profile, release_time=release, deadline=self._deadline_for(job)
+        )
+        return sim.run(spec)
+
+    def _ideal_seconds(self, app: str, scale: float) -> float:
+        """Ideal machine-seconds for one full run: t_exec(lrc) x workers."""
+        _, perf, lrc, _ = self._model_for(app, scale)
+        return perf.exec_time(lrc) * lrc.num_workers
+
+    def _granny_costs(self, job: TraceJob, result: RunResult) -> tuple[float, float, float]:
+        """(provider idle machine-s, user dollars, service-time s)."""
+        billed = result.spot_seconds + result.on_demand_seconds
+        idle = max(0.0, billed - self._ideal_seconds(job.app, job.scale))
+        arrival = self.setup.market.start + job.arrival_s
+        return idle, result.cost, result.finish_time - arrival
+
+    # ------------------------------------------------------------------
+    def _run_recurring(self):
+        """The interleaved recurring phase over the shared service."""
+        cfg = self.config
+        if cfg.recurring_tenants == 0 or not cfg.execute:
+            return {}
+        rng = derive_rng(cfg.trace.seed, "recurring")
+        names = [name for name, _ in cfg.trace.app_mix]
+        total_w = sum(w for _, w in cfg.trace.app_mix)
+        weights = [w / total_w for _, w in cfg.trace.app_mix]
+        specs = []
+        for r in range(cfg.recurring_tenants):
+            app = names[int(rng.choice(len(names), p=weights))]
+            scale = float(cfg.trace.scales[int(rng.integers(len(cfg.trace.scales)))])
+            profile, perf, lrc, _ = self._model_for(app, scale)
+            # Tight-but-legal period: the smallest configured period the
+            # job can in principle fit (evictions make it overrun
+            # occasionally — exactly the skipped-window regime).
+            floor = 1.15 * (perf.fixed_time(lrc) + perf.exec_time(lrc))
+            fitting = [p for p in cfg.trace.periods_s if p >= floor]
+            period = min(fitting) if fitting else max(cfg.trace.periods_s)
+            specs.append(
+                RecurringJobSpec(
+                    name=f"recurring-{r:02d}",
+                    simulator=self._simulator_for(app, scale),
+                    profile=profile,
+                    period=period,
+                    offset=r * cfg.window_s,
+                )
+            )
+            self._recurring_apps[specs[-1].name] = (app, scale)
+        driver = InterleavedRecurringDriver(specs)
+        return driver.run(self.setup.market.start, cfg.recurring_periods)
+
+    # ------------------------------------------------------------------
+    def _publish_metrics(self, report: LoadReport, latencies, queue_waits) -> None:
+        """Export the run's aggregates as ``load_*`` metrics series."""
+        mx = self.metrics
+        jobs = mx.counter("load_jobs_total", "Trace jobs by admission outcome")
+        jobs.inc(report.planned, outcome="planned")
+        jobs.inc(report.rejected_overload, outcome="rejected_overload")
+        jobs.inc(report.rejected_invalid, outcome="rejected_invalid")
+        jobs.inc(report.deadline_lost, outcome="deadline_lost")
+        lat = mx.histogram(
+            "load_plan_latency_seconds", "Per-slot plan service time (batch path)"
+        )
+        for v in latencies:
+            lat.observe(v)
+        wait = mx.histogram(
+            "load_plan_queue_wait_seconds", "Per-slot batch queue wait"
+        )
+        for v in queue_waits:
+            wait.observe(v)
+        runs = mx.counter("load_runs_total", "Executed one-shot runs by outcome")
+        runs.inc(report.executed - report.missed, outcome="met")
+        runs.inc(report.missed, outcome="missed")
+        rec = mx.counter(
+            "load_recurring_windows_total", "Recurring windows by outcome"
+        )
+        rec.inc(report.recurring_runs - report.recurring_missed, outcome="met")
+        rec.inc(report.recurring_missed, outcome="missed")
+        rec.inc(report.recurring_skipped, outcome="skipped")
+        mx.counter(
+            "load_provider_idle_machine_seconds_total",
+            "Billed machine-seconds beyond ideal compute (Granny provider cost)",
+        ).inc(report.provider_idle_machine_s)
+        mx.counter(
+            "load_user_cost_dollars_total", "Dollars billed across executed runs"
+        ).inc(report.user_cost_dollars)
+        mx.counter(
+            "load_service_time_seconds_total",
+            "Arrival-to-finish simulated seconds across executed runs",
+        ).inc(report.service_time_s)
+        mx.gauge("load_queue_peak", "Admission backlog high-water mark").set(
+            report.queue_peak
+        )
+
+
+def run_load(config: HarnessConfig, metrics=None) -> LoadReport:
+    """Convenience one-call entry point (used by the CLI and CI smoke)."""
+    return LoadHarness(config, metrics=metrics).run()

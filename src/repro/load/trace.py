@@ -1,0 +1,234 @@
+"""Seeded arrival-trace generation for the load harness.
+
+The workload model is the production shape the ROADMAP asks for:
+
+* **Poisson arrivals** thinned against a time-varying rate —
+  a diurnal sinusoid (quiet nights, busy afternoons) times a burst
+  process (short windows where the offered rate multiplies, the
+  "everyone reruns their analysis after the data lands" spikes).
+* **Mixed tenants and jobs** — every arrival is one tenant submitting
+  one time-constrained graph job: an application from the paper's
+  profile set, a graph-size scale factor, a slack fraction and a
+  recurrence period, all drawn from configurable mixes.
+
+Generation is fully deterministic: every draw comes from one
+:func:`repro.utils.rng.derive_rng` stream keyed off the config seed, so
+the same :class:`LoadTraceConfig` always produces a bit-identical
+:class:`ArrivalTrace` (pinned by :meth:`ArrivalTrace.checksum`), across
+processes and platforms.  Traces round-trip through JSONL so a generated
+workload can be archived and replayed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+from repro.core.job import PAPER_PROFILES
+from repro.utils.rng import derive_rng
+from repro.utils.units import HOURS
+
+#: Default application mix (name -> weight); names must exist in
+#: :data:`repro.core.job.PAPER_PROFILES`.  SSSP-heavy, like the paper's
+#: motivation: short recurring analyses dominate arrival counts.
+DEFAULT_APP_MIX = (("sssp", 0.5), ("pagerank", 0.35), ("coloring", 0.15))
+
+
+@dataclass(frozen=True)
+class LoadTraceConfig:
+    """Knobs of the workload generator (all defaults are benchmark-sane).
+
+    Attributes:
+        seed: master seed; the trace is a pure function of this config.
+        num_jobs: arrivals to generate.
+        num_tenants: distinct tenant identities jobs are attributed to.
+        arrivals_per_hour: mean offered rate before modulation.
+        diurnal_amplitude: relative amplitude of the 24 h sinusoid
+            (0 = flat, 0.6 = rate swings +-60% around the mean).
+        burst_rate_multiplier: rate multiplier inside a burst window.
+        burst_probability_per_hour: chance each wall-clock hour contains
+            one burst window.
+        burst_duration_s: length of one burst window.
+        app_mix: ``(profile name, weight)`` pairs.
+        scales: graph-size scale factors applied to the profile's
+            execution time (mixed dataset sizes).
+        slack_range: uniform range of the per-job slack fraction.
+        periods_s: recurrence periods jobs are tagged with (drives the
+            recurring-tenant phase of the harness).
+    """
+
+    seed: int = 42
+    num_jobs: int = 1000
+    num_tenants: int = 20
+    arrivals_per_hour: float = 120.0
+    diurnal_amplitude: float = 0.6
+    burst_rate_multiplier: float = 4.0
+    burst_probability_per_hour: float = 0.15
+    burst_duration_s: float = 900.0
+    app_mix: tuple[tuple[str, float], ...] = DEFAULT_APP_MIX
+    scales: tuple[float, ...] = (0.25, 0.5, 1.0)
+    slack_range: tuple[float, float] = (0.1, 1.0)
+    periods_s: tuple[float, ...] = (2 * HOURS, 4 * HOURS, 6 * HOURS)
+
+    def __post_init__(self):
+        if self.num_jobs < 1:
+            raise ValueError("num_jobs must be >= 1")
+        if self.num_tenants < 1:
+            raise ValueError("num_tenants must be >= 1")
+        if self.arrivals_per_hour <= 0:
+            raise ValueError("arrivals_per_hour must be positive")
+        if not 0.0 <= self.diurnal_amplitude < 1.0:
+            raise ValueError("diurnal_amplitude must be in [0, 1)")
+        if self.burst_rate_multiplier < 1.0:
+            raise ValueError("burst_rate_multiplier must be >= 1")
+        unknown = [name for name, _ in self.app_mix if name not in PAPER_PROFILES]
+        if unknown:
+            raise ValueError(f"unknown profiles in app_mix: {unknown}")
+        if not self.app_mix or any(w <= 0 for _, w in self.app_mix):
+            raise ValueError("app_mix needs positive weights")
+        lo, hi = self.slack_range
+        if not 0.0 <= lo <= hi:
+            raise ValueError("slack_range must satisfy 0 <= lo <= hi")
+
+
+@dataclass(frozen=True)
+class TraceJob:
+    """One arrival: a tenant submitting one time-constrained job.
+
+    Attributes:
+        job_id: position in the trace (0-based, arrival order).
+        tenant: tenant identity (``tenant-07``).
+        arrival_s: arrival time, seconds from the trace origin.
+        app: application profile name (``sssp`` / ``pagerank`` / ...).
+        scale: execution-time scale factor (graph-size proxy).
+        slack_fraction: deadline slack as a fraction of execution time.
+        period_s: the job's recurrence period tag.
+    """
+
+    job_id: int
+    tenant: str
+    arrival_s: float
+    app: str
+    scale: float
+    slack_fraction: float
+    period_s: float
+
+
+@dataclass(frozen=True)
+class ArrivalTrace:
+    """A generated workload: the config that produced it plus its jobs."""
+
+    config: LoadTraceConfig
+    jobs: tuple[TraceJob, ...]
+
+    @property
+    def span_s(self) -> float:
+        """Seconds from the trace origin to the last arrival."""
+        return self.jobs[-1].arrival_s if self.jobs else 0.0
+
+    def checksum(self) -> str:
+        """SHA-256 over the canonical JSON encoding (bit-identity pin)."""
+        payload = json.dumps(
+            [asdict(job) for job in self.jobs], sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    # ------------------------------------------------------------------
+    # JSONL round-trip (the archival trace format)
+    # ------------------------------------------------------------------
+    def to_jsonl(self, path) -> None:
+        """Write one header line (the config) then one line per job."""
+        lines = [json.dumps({"trace_config": asdict(self.config)}, sort_keys=True)]
+        lines.extend(json.dumps(asdict(job), sort_keys=True) for job in self.jobs)
+        Path(path).write_text("\n".join(lines) + "\n")
+
+    @classmethod
+    def from_jsonl(cls, path) -> "ArrivalTrace":
+        """Reload a trace written by :meth:`to_jsonl`."""
+        lines = Path(path).read_text().splitlines()
+        if not lines:
+            raise ValueError(f"empty trace file: {path}")
+        header = json.loads(lines[0])
+        raw = header.get("trace_config")
+        if raw is None:
+            raise ValueError(f"missing trace_config header in {path}")
+        for key in ("app_mix", "scales", "slack_range", "periods_s"):
+            raw[key] = tuple(
+                tuple(v) if isinstance(v, list) else v for v in raw[key]
+            )
+        config = LoadTraceConfig(**raw)
+        jobs = tuple(TraceJob(**json.loads(line)) for line in lines[1:] if line)
+        return cls(config=config, jobs=jobs)
+
+
+def _in_burst(config: LoadTraceConfig, seed, t: float) -> bool:
+    """Whether *t* falls inside a burst window.
+
+    Burst placement is derived per wall-clock hour from the seed, so the
+    burst schedule is a deterministic property of the config that does
+    not depend on how many arrivals the thinning loop samples.
+    """
+    for hour in (int(t // HOURS), int(t // HOURS) - 1):
+        if hour < 0:
+            continue
+        rng = derive_rng(seed, "burst", hour)
+        if rng.uniform() >= config.burst_probability_per_hour:
+            continue
+        start = hour * HOURS + rng.uniform(0.0, HOURS)
+        if start <= t < start + config.burst_duration_s:
+            return True
+    return False
+
+
+def offered_rate(config: LoadTraceConfig, t: float) -> float:
+    """Instantaneous arrival rate (jobs/second) at trace time *t*."""
+    base = config.arrivals_per_hour / HOURS
+    diurnal = 1.0 + config.diurnal_amplitude * math.sin(2.0 * math.pi * t / (24 * HOURS))
+    rate = base * diurnal
+    if _in_burst(config, config.seed, t):
+        rate *= config.burst_rate_multiplier
+    return rate
+
+
+def generate_trace(config: LoadTraceConfig) -> ArrivalTrace:
+    """Sample the arrival trace (deterministic in *config*).
+
+    Arrivals come from Poisson thinning: candidate points at the peak
+    rate, kept with probability ``rate(t) / peak``.  Job attributes are
+    drawn from one sequential stream, so the whole trace is a pure
+    function of the config.
+    """
+    rng = derive_rng(config.seed, "arrivals")
+    peak = (
+        config.arrivals_per_hour
+        / HOURS
+        * (1.0 + config.diurnal_amplitude)
+        * config.burst_rate_multiplier
+    )
+    names = [name for name, _ in config.app_mix]
+    total_w = sum(w for _, w in config.app_mix)
+    weights = [w / total_w for _, w in config.app_mix]
+    jobs: list[TraceJob] = []
+    t = 0.0
+    while len(jobs) < config.num_jobs:
+        t += rng.exponential(1.0 / peak)
+        if rng.uniform() * peak > offered_rate(config, t):
+            continue
+        lo, hi = config.slack_range
+        jobs.append(
+            TraceJob(
+                job_id=len(jobs),
+                tenant=f"tenant-{int(rng.integers(config.num_tenants)):02d}",
+                arrival_s=t,
+                app=names[int(rng.choice(len(names), p=weights))],
+                scale=float(config.scales[int(rng.integers(len(config.scales)))]),
+                slack_fraction=float(rng.uniform(lo, hi)),
+                period_s=float(
+                    config.periods_s[int(rng.integers(len(config.periods_s)))]
+                ),
+            )
+        )
+    return ArrivalTrace(config=config, jobs=tuple(jobs))

@@ -7,6 +7,7 @@ snapshots and batched decisions across tenants (see
 """
 
 from repro.service.planning import (
+    BatchPlanError,
     PlanError,
     PlanningService,
     PlanRequest,
@@ -16,6 +17,7 @@ from repro.service.planning import (
 from repro.service.strategies import SERVICE_STRATEGIES, ServicePlannedProvisioner
 
 __all__ = [
+    "BatchPlanError",
     "PlanError",
     "PlanningService",
     "PlanRequest",

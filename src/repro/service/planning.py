@@ -60,6 +60,35 @@ class PlanError(ValueError):
     """A plan request failed service admission or strategy resolution."""
 
 
+class BatchPlanError(PlanError):
+    """One or more slots of a :meth:`PlanningService.plan_many` batch failed.
+
+    Raised (by default) *after* every admissible request in the batch has
+    been planned and published, so one bad tenant cannot poison the
+    others' work.  The partial outcome rides on the exception:
+
+    Attributes:
+        results: per-slot outcomes in request order — a
+            :class:`PlanResult` for planned slots, the slot's
+            :class:`PlanError` for rejected ones.
+        errors: ``(index, PlanError)`` pairs for the rejected slots.
+    """
+
+    def __init__(self, results, errors):
+        self.results = tuple(results)
+        self.errors = tuple(errors)
+        planned = sum(1 for r in self.results if isinstance(r, PlanResult))
+        summary = "; ".join(
+            f"[{i}] {err}" for i, err in self.errors[:3]
+        )
+        if len(self.errors) > 3:
+            summary += f"; ... {len(self.errors) - 3} more"
+        super().__init__(
+            f"{len(self.errors)} of {len(self.results)} batch slots rejected "
+            f"({planned} planned): {summary}"
+        )
+
+
 @dataclass(frozen=True)
 class PlanRequest:
     """One provisioning question: what should this job run next?
@@ -96,8 +125,17 @@ class PlanTelemetry:
     """What one decision cost the service.
 
     Attributes:
-        latency_s: wall-clock seconds from admission to decision,
-            including any wait on the estimator lock.
+        latency_s: wall-clock *service* seconds actually spent on this
+            decision (admission, keying, snapshot lookup, DP walk) —
+            excluding time spent waiting behind other requests, so warm
+            vs cold comparisons are independent of batch position.
+        queue_wait_s: wall-clock seconds this request waited on the
+            shared estimator before being serviced: the lock wait in
+            :meth:`PlanningService.plan`, the batch-queue wait (earlier
+            groups and earlier members, lock included) in
+            :meth:`PlanningService.plan_many`.  ``latency_s +
+            queue_wait_s`` is the request's total admission-to-decision
+            wall clock.
         memo_hits / memo_misses: estimator state lookups served from /
             added to the shared memo by this decision (0/0 for
             baseline strategies, which keep no DP state).
@@ -120,6 +158,12 @@ class PlanTelemetry:
     epoch: int = 0
     snapshot_reused: bool = False
     estimator_reused: bool = False
+    queue_wait_s: float = 0.0
+
+    @property
+    def total_s(self) -> float:
+        """Admission-to-decision wall clock (queue wait + service)."""
+        return self.queue_wait_s + self.latency_s
 
 
 @dataclass(frozen=True)
@@ -425,7 +469,10 @@ class PlanningService:
         key = self._estimator_key(catalog, request.slack_model, grids)
         entry, warm = self._entry_for(key, catalog, request.slack_model, grids)
         rates, snapshot_reused = self._rates_for(catalog, request.t)
-        with entry.lock:
+        lock_wait_started = time.perf_counter()
+        entry.lock.acquire()
+        queue_wait = time.perf_counter() - lock_wait_started
+        try:
             before = entry.estimator.cache_stats()
             slack = request.slack_model.slack(request.t, request.work_left)
             decision = entry.estimator.best_at_slack(
@@ -437,12 +484,14 @@ class PlanningService:
                 rates=rates,
             )
             after = entry.estimator.cache_stats()
+        finally:
+            entry.lock.release()
         return self._publish(
             request,
             PlanResult(
                 decision=decision,
                 telemetry=PlanTelemetry(
-                    latency_s=time.perf_counter() - started,
+                    latency_s=time.perf_counter() - started - queue_wait,
                     memo_hits=after.hits - before.hits,
                     memo_misses=after.misses - before.misses,
                     memo_entries=after.entries,
@@ -450,6 +499,7 @@ class PlanningService:
                     epoch=after.epoch,
                     snapshot_reused=snapshot_reused,
                     estimator_reused=warm,
+                    queue_wait_s=queue_wait,
                 ),
             ),
         )
@@ -485,7 +535,9 @@ class PlanningService:
             telemetry=PlanTelemetry(latency_s=time.perf_counter() - started),
         )
 
-    def plan_many(self, requests) -> list[PlanResult]:
+    def plan_many(
+        self, requests, return_exceptions: bool = False
+    ) -> list[PlanResult | PlanError]:
         """Answer a batch of requests, grouping same-catalogue work.
 
         Hourglass requests resolving to the same estimator key are
@@ -493,32 +545,58 @@ class PlanningService:
         order, sharing rate snapshots and warm memo within the batch —
         bit-identical to calling :meth:`plan` per request, without the
         per-request lock and lookup churn.
+
+        Admission is per slot: a request that fails admission (or
+        strategy resolution) never blocks the rest of the batch — every
+        admissible request is planned and published regardless.  With
+        ``return_exceptions=True`` the rejected slots come back as their
+        :class:`PlanError` in the result list; otherwise (the default,
+        matching the historical raise-on-bad-request contract) a
+        :class:`BatchPlanError` carrying the per-slot outcomes is raised
+        after the admissible slots have been planned.
+
+        Each planned slot's telemetry separates ``queue_wait_s`` (time
+        spent behind earlier groups/members of the batch) from
+        ``latency_s`` (the slot's own service time), so latency
+        statistics are independent of batch position.
         """
         requests = list(requests)
-        results: list[PlanResult | None] = [None] * len(requests)
+        results: list[PlanResult | PlanError | None] = [None] * len(requests)
+        errors: list[tuple[int, PlanError]] = []
         groups: OrderedDict[tuple, list] = OrderedDict()
         for i, request in enumerate(requests):
             started = time.perf_counter()
-            catalog = self.admit(request.catalog)
-            with self._mutex:
-                self._plans += 1
-            if request.strategy != "hourglass":
-                results[i] = self._plan_baseline(request, catalog, started)
+            try:
+                catalog = self.admit(request.catalog)
+                with self._mutex:
+                    self._plans += 1
+                if request.strategy != "hourglass":
+                    results[i] = self._plan_baseline(request, catalog, started)
+                    continue
+                grids = self.resolved_grids(
+                    request.slack_model,
+                    request.t,
+                    request.work_left,
+                    request.slack_grid,
+                    request.work_grid,
+                )
+                key = self._estimator_key(catalog, request.slack_model, grids)
+            except PlanError as exc:
+                results[i] = exc
+                errors.append((i, exc))
                 continue
-            grids = self.resolved_grids(
-                request.slack_model,
-                request.t,
-                request.work_left,
-                request.slack_grid,
-                request.work_grid,
+            # keyed_at closes this slot's share of the grouping pass;
+            # waiting starts here and ends when its group services it.
+            keyed_at = time.perf_counter()
+            groups.setdefault(key, []).append(
+                (i, request, catalog, grids, started, keyed_at)
             )
-            key = self._estimator_key(catalog, request.slack_model, grids)
-            groups.setdefault(key, []).append((i, request, catalog, grids, started))
         for key, members in groups.items():
-            _, request0, catalog0, grids0, _ = members[0]
+            _, request0, catalog0, grids0, _, _ = members[0]
             entry, warm = self._entry_for(key, catalog0, request0.slack_model, grids0)
             with entry.lock:
-                for i, request, catalog, _grids, started in members:
+                for i, request, catalog, _grids, started, keyed_at in members:
+                    service_started = time.perf_counter()
                     rates, snapshot_reused = self._rates_for(catalog, request.t)
                     before = entry.estimator.cache_stats()
                     slack = request.slack_model.slack(request.t, request.work_left)
@@ -531,10 +609,11 @@ class PlanningService:
                         rates=rates,
                     )
                     after = entry.estimator.cache_stats()
+                    done = time.perf_counter()
                     results[i] = PlanResult(
                         decision=decision,
                         telemetry=PlanTelemetry(
-                            latency_s=time.perf_counter() - started,
+                            latency_s=(keyed_at - started) + (done - service_started),
                             memo_hits=after.hits - before.hits,
                             memo_misses=after.misses - before.misses,
                             memo_entries=after.entries,
@@ -542,13 +621,17 @@ class PlanningService:
                             epoch=after.epoch,
                             snapshot_reused=snapshot_reused,
                             estimator_reused=warm,
+                            queue_wait_s=service_started - keyed_at,
                         ),
                     )
                     warm = True  # later members of the batch hit warm state
         with self._mutex:
             self._batches += 1
         for request, result in zip(requests, results):
-            self._publish(request, result)
+            if isinstance(result, PlanResult):
+                self._publish(request, result)
+        if errors and not return_exceptions:
+            raise BatchPlanError(results, errors)
         return results  # type: ignore[return-value]
 
     # ------------------------------------------------------------------
