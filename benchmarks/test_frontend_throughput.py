@@ -1,0 +1,226 @@
+"""Frontend serving throughput: coalescing + pooling vs the single-lock path.
+
+The serving-layer claim quantified.  The workload is the duplicate-heavy
+burst the frontend was built for: many tenants submitting replicas of a
+few recurring analyses at once (same estimator key, same slack cell —
+identical decisions).  Three serving architectures answer the same
+burst:
+
+* **single-lock** — concurrent client threads calling ``service.plan``;
+  every replica pays a full decision and the shared estimator lock
+  serialises them (the pre-frontend path for live traffic).
+* **windowed plan_many** — the PR 6 harness path: the burst chopped into
+  sequential capacity-sized batches (no concurrency, but per-slot
+  lock/telemetry churn amortised).
+* **frontend** — async clients through :class:`PlanFrontend`: duplicate
+  sets collapse onto one in-flight evaluation; the distinct remainder
+  dispatches through the autoscaled pool.
+
+Asserted floors (generous; the typical win is larger):
+
+* frontend sustains at least ``MIN_SPEEDUP`` (2x) the single-lock
+  path's resolved-requests/s at saturation;
+* frontend arrival-to-decision p95 beats both baselines (a waiter
+  resolves when its leader does, instead of queueing for its own slot);
+* every duplicate receives the bit-identical decision in all paths.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.core.job import (
+    COLORING_PROFILE,
+    PAGERANK_PROFILE,
+    SSSP_PROFILE,
+    job_with_slack,
+)
+from repro.core.slack import SlackModel
+from repro.experiments.report import format_table
+from repro.load.report import percentile
+from repro.obs.metrics import MetricsRegistry
+from repro.service import (
+    FrontendConfig,
+    PlanFrontend,
+    PlanningService,
+    PlanRequest,
+    PoolConfig,
+)
+
+MIN_SPEEDUP = 2.0
+REPLICAS = 60  # submissions per distinct request (the duplicate depth)
+CLIENT_THREADS = 8  # concurrent callers in the single-lock baseline
+WINDOW_CAPACITY = 64  # windowed baseline's plan_many batch size
+
+
+def _templates(setup):
+    """The distinct requests of the burst (one per recurring analysis)."""
+    templates = []
+    for profile in (SSSP_PROFILE, PAGERANK_PROFILE, COLORING_PROFILE):
+        for slack in (0.3, 0.8):
+            perf = setup.perf_model(profile)
+            lrc = setup.lrc(perf)
+            job = job_with_slack(profile, 0.0, slack, perf.fixed_time(lrc))
+            sm = SlackModel(perf=perf, lrc=lrc, deadline=job.deadline)
+            templates.append(PlanRequest(slack_model=sm, catalog=setup.catalog))
+    return templates
+
+
+def _burst(templates):
+    """Round-robin replicas: the arrival mix of one burst window."""
+    return [templates[i % len(templates)] for i in range(REPLICAS * len(templates))]
+
+
+def _warm_service(setup, templates):
+    """A service with every cold estimator already paid (all paths equal)."""
+    service = PlanningService(setup.market)
+    for request in templates:
+        service.plan(request)
+    return service
+
+
+def _run_single_lock(setup, templates, burst):
+    """Baseline: concurrent client threads on ``service.plan``."""
+    service = _warm_service(setup, templates)
+    latencies = [0.0] * len(burst)
+    results = [None] * len(burst)
+
+    def client(indices, t0):
+        for i in indices:
+            results[i] = service.plan(burst[i])
+            latencies[i] = time.perf_counter() - t0
+
+    slices = [range(k, len(burst), CLIENT_THREADS) for k in range(CLIENT_THREADS)]
+    with ThreadPoolExecutor(CLIENT_THREADS) as pool:
+        t0 = time.perf_counter()
+        futures = [pool.submit(client, s, t0) for s in slices]
+        for future in futures:
+            future.result()
+        span = time.perf_counter() - t0
+    return span, latencies, results
+
+
+def _run_windowed(setup, templates, burst):
+    """Baseline: the burst chopped into sequential plan_many windows."""
+    service = _warm_service(setup, templates)
+    latencies = []
+    results = []
+    t0 = time.perf_counter()
+    for start in range(0, len(burst), WINDOW_CAPACITY):
+        batch = burst[start : start + WINDOW_CAPACITY]
+        results.extend(service.plan_many(batch))
+        done = time.perf_counter() - t0
+        latencies.extend([done] * len(batch))  # burst arrival at t0
+    span = time.perf_counter() - t0
+    return span, latencies, results
+
+
+def _run_frontend(setup, templates, burst):
+    """The async frontend over an autoscaled 1:4 pool, coalescing on."""
+    service = _warm_service(setup, templates)
+    frontend = PlanFrontend(
+        service,
+        FrontendConfig(
+            max_inflight=len(burst),
+            max_batch=WINDOW_CAPACITY,
+            pool=PoolConfig(min_workers=1, max_workers=4),
+        ),
+        metrics=MetricsRegistry(),
+    )
+    latencies = []
+
+    async def submit(request, t0):
+        result = await frontend.plan(request)
+        latencies.append(time.perf_counter() - t0)
+        return result
+
+    async def drive():
+        async with frontend:
+            t0 = time.perf_counter()
+            results = await asyncio.gather(
+                *(submit(request, t0) for request in burst)
+            )
+            span = time.perf_counter() - t0
+            return span, results, frontend.stats()
+
+    span, results, stats = asyncio.run(drive())
+    return span, latencies, results, stats
+
+
+def _check_identical_decisions(templates, burst, results):
+    """Every replica of one template decided identically; returns the map."""
+    decisions = {}
+    for request, result in zip(burst, results):
+        seen = decisions.setdefault(id(request), result.decision)
+        assert result.decision == seen
+    assert len(decisions) == len(templates)
+    return decisions
+
+
+def test_frontend_throughput_at_saturation(setup, save_result):
+    templates = _templates(setup)
+    burst = _burst(templates)
+
+    lock_span, lock_lat, lock_results = _run_single_lock(setup, templates, burst)
+    win_span, win_lat, win_results = _run_windowed(setup, templates, burst)
+    fe_span, fe_lat, fe_results, stats = _run_frontend(setup, templates, burst)
+
+    # Correctness before speed: per template one decision, identical
+    # across replicas AND across serving architectures.
+    lock_decisions = _check_identical_decisions(templates, burst, lock_results)
+    win_decisions = _check_identical_decisions(templates, burst, win_results)
+    fe_decisions = _check_identical_decisions(templates, burst, fe_results)
+    assert fe_decisions == win_decisions == lock_decisions
+
+    # The duplicate-heavy burst actually coalesced (not just got faster).
+    assert stats.coalesced >= 0.8 * (len(burst) - len(templates))
+
+    rps = {
+        "single-lock": len(burst) / lock_span,
+        "windowed": len(burst) / win_span,
+        "frontend": len(burst) / fe_span,
+    }
+    p95 = {
+        "single-lock": 1000 * percentile(lock_lat, 95),
+        "windowed": 1000 * percentile(win_lat, 95),
+        "frontend": 1000 * percentile(fe_lat, 95),
+    }
+    spans = {"single-lock": lock_span, "windowed": win_span, "frontend": fe_span}
+    speedup = rps["frontend"] / rps["single-lock"]
+
+    save_result(
+        "frontend_throughput",
+        format_table(
+            [
+                {
+                    "path": name,
+                    "requests": len(burst),
+                    "span_ms": round(1000 * spans[name], 1),
+                    "plans_per_s": round(rps[name]),
+                    "p95_ms": round(p95[name], 2),
+                    "coalesced": stats.coalesced if name == "frontend" else 0,
+                }
+                for name in ("single-lock", "windowed", "frontend")
+            ],
+            title=(
+                "Serving throughput — duplicate-heavy burst "
+                f"({len(templates)} distinct x {REPLICAS} replicas)"
+            ),
+        ),
+    )
+
+    assert speedup >= MIN_SPEEDUP, (
+        f"frontend only {speedup:.2f}x the single-lock path "
+        f"({rps['frontend']:.0f} vs {rps['single-lock']:.0f} plans/s, "
+        f"floor {MIN_SPEEDUP}x)"
+    )
+    assert p95["frontend"] <= p95["single-lock"], (
+        f"frontend p95 {p95['frontend']:.1f} ms worse than single-lock "
+        f"{p95['single-lock']:.1f} ms"
+    )
+    assert p95["frontend"] <= p95["windowed"], (
+        f"frontend p95 {p95['frontend']:.1f} ms worse than windowed "
+        f"{p95['windowed']:.1f} ms"
+    )

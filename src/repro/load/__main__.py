@@ -6,6 +6,16 @@ print the report::
     python -m repro.load --jobs 1000 --seed 42
     python -m repro.load --jobs 100 --capacity 16 --queue-limit 32 \\
         --out load-artifacts
+    python -m repro.load --jobs 100 --frontend --workers 1:6 \\
+        --time-scale 3600 --require-scaling
+
+``--frontend`` plans through the async :class:`PlanFrontend` (request
+coalescing, eager batching, an autoscaled planner pool, backpressure)
+instead of the windowed admission path; ``--workers MIN:MAX`` bounds the
+pool and ``--require-scaling`` makes the run degenerate unless the
+autoscaler both powered up and powered down.  In frontend mode the
+process also verifies the no-silent-drop invariant: every offered job
+must resolve to exactly one outcome.
 
 ``--out DIR`` additionally writes ``report.txt``, the arrival trace as
 ``trace.jsonl`` (replayable via :meth:`ArrivalTrace.from_jsonl`) and the
@@ -26,6 +36,23 @@ from repro.load.trace import LoadTraceConfig, generate_trace
 from repro.obs.metrics import MetricsRegistry
 
 
+def _parse_workers(value: str) -> tuple[int, int]:
+    """Parse a ``MIN:MAX`` pool band (a bare integer pins both)."""
+    lo, sep, hi = value.partition(":")
+    try:
+        low = int(lo)
+        high = int(hi) if sep else low
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(
+            f"expected MIN:MAX worker counts, got {value!r}"
+        ) from exc
+    if low < 1 or high < low:
+        raise argparse.ArgumentTypeError(
+            f"need 1 <= MIN <= MAX, got {value!r}"
+        )
+    return low, high
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="python -m repro.load", description=__doc__)
     parser.add_argument("--jobs", type=int, default=1000, help="arrivals to generate")
@@ -33,6 +60,13 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--tenants", type=int, default=20)
     parser.add_argument(
         "--arrivals-per-hour", type=float, default=120.0, help="mean offered rate"
+    )
+    parser.add_argument(
+        "--slack-quantum",
+        type=float,
+        default=0.0,
+        help="round slack fractions to this step (0 = continuous; round "
+        "numbers make duplicate requests the frontend can coalesce)",
     )
     parser.add_argument(
         "--window", type=float, default=60.0, help="planning window seconds"
@@ -55,6 +89,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip execution (latency/admission sections only)",
     )
     parser.add_argument(
+        "--frontend",
+        action="store_true",
+        help="plan through the async frontend + autoscaled planner pool",
+    )
+    parser.add_argument(
+        "--workers",
+        type=_parse_workers,
+        default=(1, 4),
+        metavar="MIN:MAX",
+        help="planner-pool size band in frontend mode (default 1:4)",
+    )
+    parser.add_argument(
+        "--time-scale",
+        type=float,
+        default=0.0,
+        help="simulated seconds per wall second when pacing frontend "
+        "submissions (0 = saturation, no pacing)",
+    )
+    parser.add_argument(
+        "--require-scaling",
+        action="store_true",
+        help="frontend mode: fail unless the pool scaled up AND back down",
+    )
+    parser.add_argument(
         "--out", type=Path, default=None, help="artifact directory (report/trace/metrics)"
     )
     return parser
@@ -68,6 +126,7 @@ def main(argv=None) -> int:
         num_jobs=args.jobs,
         num_tenants=args.tenants,
         arrivals_per_hour=args.arrivals_per_hour,
+        slack_quantum=args.slack_quantum,
     )
     config = HarnessConfig(
         trace=trace_config,
@@ -79,6 +138,10 @@ def main(argv=None) -> int:
         trace_days=args.trace_days,
         recurring_tenants=args.recurring_tenants,
         recurring_periods=args.recurring_periods,
+        frontend=args.frontend,
+        frontend_min_workers=args.workers[0],
+        frontend_max_workers=args.workers[1],
+        time_scale=args.time_scale,
     )
     metrics = MetricsRegistry()
     trace = generate_trace(trace_config)
@@ -100,6 +163,23 @@ def main(argv=None) -> int:
         problems.append("no jobs planned")
     if config.execute and report.executed == 0:
         problems.append("no jobs executed")
+    if args.frontend:
+        resolved = (
+            report.planned
+            + report.rejected_overload
+            + report.rejected_invalid
+            + report.deadline_lost
+        )
+        if resolved != report.offered:
+            problems.append(
+                f"lost requests: {report.offered} offered but only "
+                f"{resolved} resolved to an outcome"
+            )
+        if args.require_scaling:
+            if report.pool_scale_ups == 0:
+                problems.append("autoscaler never scaled up")
+            if report.pool_scale_downs == 0:
+                problems.append("autoscaler never scaled down")
     if problems:
         print(f"DEGENERATE RUN: {'; '.join(problems)}", file=sys.stderr)
         return 1

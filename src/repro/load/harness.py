@@ -27,7 +27,9 @@ traced run exports through the standard :mod:`repro.obs` pipelines.
 
 from __future__ import annotations
 
+import asyncio
 import math
+import time
 from dataclasses import dataclass, field
 
 from repro.core.job import PAPER_PROFILES, JobSpec
@@ -40,9 +42,49 @@ from repro.load.admission import AdmissionController
 from repro.load.report import LoadReport, percentile
 from repro.load.trace import ArrivalTrace, LoadTraceConfig, TraceJob, generate_trace
 from repro.obs.state import get_metrics
-from repro.service.planning import PlanningService, PlanRequest, PlanResult
+from repro.service.frontend import (
+    FrontendConfig,
+    FrontendOverloadError,
+    PlanFrontend,
+)
+from repro.service.planning import PlanError, PlanningService, PlanRequest, PlanResult
+from repro.service.pool import PoolConfig
 from repro.utils.rng import derive_rng
 from repro.utils.units import HOURS
+
+
+@dataclass
+class _PhaseTotals:
+    """Mutable accumulator one planning phase fills in.
+
+    Both phases (windowed and frontend) produce the same counters, so
+    the report assembly in :meth:`LoadHarness.run` is phase-agnostic;
+    the ``pool_*`` / ``coalesce_hits`` / ``dispatch_*`` fields stay zero
+    on the windowed path.
+    """
+
+    latencies: list[float] = field(default_factory=list)
+    queue_waits: list[float] = field(default_factory=list)
+    offered: int = 0
+    admitted: int = 0
+    planned: int = 0
+    rejected_overload: int = 0
+    rejected_invalid: int = 0
+    deadline_lost: int = 0
+    queued: int = 0
+    queue_peak: int = 0
+    executed: int = 0
+    missed: int = 0
+    provider_idle: float = 0.0
+    user_cost: float = 0.0
+    service_time: float = 0.0
+    coalesce_hits: int = 0
+    pool_size_peak: int = 0
+    pool_size_low: int = 0
+    pool_scale_ups: int = 0
+    pool_scale_downs: int = 0
+    dispatch_batches: int = 0
+    dispatch_batch_max: int = 0
 
 
 @dataclass(frozen=True)
@@ -62,6 +104,19 @@ class HarnessConfig:
         trace_days: market-trace length backing the run.
         recurring_tenants / recurring_periods: size of the interleaved
             recurring phase (0 tenants disables it).
+        frontend: plan through the async :class:`PlanFrontend` (request
+            coalescing + autoscaled planner pool + backpressure)
+            instead of the windowed admission + ``plan_many`` path.
+            Decision time is still quantized to the arrival's window
+            close, so the simulated-slack bookkeeping matches the
+            windowed path; the backlog/tail-drop guardrail is replaced
+            by the frontend's own ``max_inflight`` bound.
+        frontend_min_workers / frontend_max_workers: planner-pool size
+            band in frontend mode.
+        time_scale: simulated seconds per wall-clock second when pacing
+            frontend submissions (0 = no pacing, saturation mode).
+            Pacing lets the pool see the trace's bursts and troughs as
+            genuine load swings instead of one continuous flood.
     """
 
     trace: LoadTraceConfig = field(default_factory=LoadTraceConfig)
@@ -73,12 +128,22 @@ class HarnessConfig:
     trace_days: int = 14
     recurring_tenants: int = 4
     recurring_periods: int = 6
+    frontend: bool = False
+    frontend_min_workers: int = 1
+    frontend_max_workers: int = 4
+    time_scale: float = 0.0
 
     def __post_init__(self):
         if self.window_s <= 0:
             raise ValueError("window_s must be positive")
         if self.recurring_tenants < 0 or self.recurring_periods < 1:
             raise ValueError("recurring_tenants >= 0, recurring_periods >= 1")
+        if self.frontend_min_workers < 1:
+            raise ValueError("frontend_min_workers must be >= 1")
+        if self.frontend_max_workers < self.frontend_min_workers:
+            raise ValueError("frontend_max_workers must be >= frontend_min_workers")
+        if self.time_scale < 0:
+            raise ValueError("time_scale must be >= 0 (0 disables pacing)")
 
 
 class LoadHarness:
@@ -168,6 +233,21 @@ class LoadHarness:
                 worst = max(worst, horizon)
         return 4.0 * worst
 
+    def _request_for(self, job: TraceJob, t_plan: float) -> PlanRequest:
+        """The job's plan request at decision time *t_plan*."""
+        _, perf, lrc, grids = self._model_for(job.app, job.scale)
+        return PlanRequest(
+            slack_model=SlackModel(
+                perf=perf, lrc=lrc, deadline=self._deadline_for(job)
+            ),
+            catalog=self.setup.catalog,
+            t=t_plan,
+            work_left=1.0,
+            strategy=self.config.strategy,
+            slack_grid=grids[0],
+            work_grid=grids[1],
+        )
+
     # ------------------------------------------------------------------
     # The run
     # ------------------------------------------------------------------
@@ -186,83 +266,11 @@ class LoadHarness:
                 " raise trace_days or shrink the trace"
             )
 
-        controller = AdmissionController(
-            capacity_per_window=cfg.capacity_per_window, queue_limit=cfg.queue_limit
-        )
-        latencies: list[float] = []
-        queue_waits: list[float] = []
-        rejected_overload = 0
-        rejected_invalid = 0
-        deadline_lost = 0
-        planned = 0
-        executed = 0
-        missed = 0
-        provider_idle = 0.0
-        user_cost = 0.0
-        service_time = 0.0
-
-        num_windows = max(1, math.ceil(trace.span_s / cfg.window_s) + 1)
-        job_iter = iter(trace.jobs)
-        pending_job = next(job_iter, None)
-        window = 0
-        while True:
-            window_end = market.start + (window + 1) * cfg.window_s
-            arrivals: list[TraceJob] = []
-            while (
-                pending_job is not None
-                and market.start + pending_job.arrival_s < window_end
-            ):
-                arrivals.append(pending_job)
-                pending_job = next(job_iter, None)
-            admitted, rejected = controller.offer(arrivals)
-            rejected_overload += len(rejected)
-
-            requests: list[PlanRequest] = []
-            request_jobs: list[TraceJob] = []
-            for entry in admitted:
-                job: TraceJob = entry.item  # type: ignore[assignment]
-                deadline = self._deadline_for(job)
-                if deadline <= window_end:
-                    # Queued past its whole deadline: the window is
-                    # unservable — an SLO loss, not a planner error.
-                    deadline_lost += 1
-                    continue
-                _, perf, lrc, grids = self._model_for(job.app, job.scale)
-                requests.append(
-                    PlanRequest(
-                        slack_model=SlackModel(perf=perf, lrc=lrc, deadline=deadline),
-                        catalog=self.setup.catalog,
-                        t=window_end,
-                        work_left=1.0,
-                        strategy=cfg.strategy,
-                        slack_grid=grids[0],
-                        work_grid=grids[1],
-                    )
-                )
-                request_jobs.append(job)
-
-            if requests:
-                slots = self.service.plan_many(requests, return_exceptions=True)
-                for job, slot in zip(request_jobs, slots):
-                    if not isinstance(slot, PlanResult):
-                        rejected_invalid += 1
-                        continue
-                    planned += 1
-                    latencies.append(slot.telemetry.latency_s)
-                    queue_waits.append(slot.telemetry.queue_wait_s)
-                    if not cfg.execute:
-                        continue
-                    result = self._execute(job, window_end)
-                    executed += 1
-                    missed += result.missed_deadline
-                    idle, dollars, span = self._granny_costs(job, result)
-                    provider_idle += idle
-                    user_cost += dollars
-                    service_time += span
-
-            window += 1
-            if window >= num_windows and pending_job is None and not controller.backlog:
-                break
+        totals = _PhaseTotals()
+        if cfg.frontend:
+            self._frontend_phase(trace, totals)
+        else:
+            self._windowed_phase(trace, totals)
 
         recurring = self._run_recurring()
         for name, outcome in recurring.items():
@@ -270,11 +278,13 @@ class LoadHarness:
             ideal = self._ideal_seconds(app, scale)
             for result in outcome.results:
                 billed = result.spot_seconds + result.on_demand_seconds
-                user_cost += result.cost
+                totals.user_cost += result.cost
                 # Scheduled release (deadline - period) anchors service
                 # time, so an overrun-delayed run is charged its wait.
-                service_time += result.finish_time - (result.deadline - outcome.period)
-                provider_idle += max(0.0, billed - ideal)
+                totals.service_time += result.finish_time - (
+                    result.deadline - outcome.period
+                )
+                totals.provider_idle += max(0.0, billed - ideal)
         rec_runs = sum(o.runs for o in recurring.values())
         rec_missed = sum(o.missed for o in recurring.values())
         rec_skipped = sum(o.skipped for o in recurring.values())
@@ -290,25 +300,25 @@ class LoadHarness:
             num_tenants=cfg.trace.num_tenants,
             trace_checksum=trace.checksum(),
             trace_span_s=trace.span_s,
-            offered=controller.stats.offered,
-            admitted=controller.stats.admitted,
-            planned=planned,
-            rejected_overload=rejected_overload,
-            rejected_invalid=rejected_invalid,
-            deadline_lost=deadline_lost,
-            queued=controller.stats.queued,
-            queue_peak=controller.stats.queue_peak,
+            offered=totals.offered,
+            admitted=totals.admitted,
+            planned=totals.planned,
+            rejected_overload=totals.rejected_overload,
+            rejected_invalid=totals.rejected_invalid,
+            deadline_lost=totals.deadline_lost,
+            queued=totals.queued,
+            queue_peak=totals.queue_peak,
             cache_hit_rate=stats.hits / lookups if lookups else 0.0,
             snapshot_hit_rate=svc["snapshot_hits"] / snapshots if snapshots else 0.0,
-            plan_p50_ms=1000 * percentile(latencies, 50),
-            plan_p95_ms=1000 * percentile(latencies, 95),
-            plan_p99_ms=1000 * percentile(latencies, 99),
-            queue_wait_p50_ms=1000 * percentile(queue_waits, 50),
-            queue_wait_p95_ms=1000 * percentile(queue_waits, 95),
-            queue_wait_p99_ms=1000 * percentile(queue_waits, 99),
-            executed=executed,
-            missed=missed,
-            miss_rate=missed / executed if executed else 0.0,
+            plan_p50_ms=1000 * percentile(totals.latencies, 50),
+            plan_p95_ms=1000 * percentile(totals.latencies, 95),
+            plan_p99_ms=1000 * percentile(totals.latencies, 99),
+            queue_wait_p50_ms=1000 * percentile(totals.queue_waits, 50),
+            queue_wait_p95_ms=1000 * percentile(totals.queue_waits, 95),
+            queue_wait_p99_ms=1000 * percentile(totals.queue_waits, 99),
+            executed=totals.executed,
+            missed=totals.missed,
+            miss_rate=totals.missed / totals.executed if totals.executed else 0.0,
             recurring_tenants=len(recurring),
             recurring_runs=rec_runs,
             recurring_missed=rec_missed,
@@ -318,12 +328,201 @@ class LoadHarness:
             recurring_violation_rate=(rec_missed + rec_skipped) / rec_windows
             if rec_windows
             else 0.0,
-            provider_idle_machine_s=provider_idle,
-            user_cost_dollars=user_cost,
-            service_time_s=service_time,
+            provider_idle_machine_s=totals.provider_idle,
+            user_cost_dollars=totals.user_cost,
+            service_time_s=totals.service_time,
+            frontend=cfg.frontend,
+            coalesce_hits=totals.coalesce_hits,
+            pool_size_peak=totals.pool_size_peak,
+            pool_size_low=totals.pool_size_low,
+            pool_scale_ups=totals.pool_scale_ups,
+            pool_scale_downs=totals.pool_scale_downs,
+            dispatch_batches=totals.dispatch_batches,
+            dispatch_batch_max=totals.dispatch_batch_max,
         )
-        self._publish_metrics(report, latencies, queue_waits)
+        self._publish_metrics(report, totals.latencies, totals.queue_waits)
         return report
+
+    # ------------------------------------------------------------------
+    # Planning phases
+    # ------------------------------------------------------------------
+    def _windowed_phase(self, trace: ArrivalTrace, totals: "_PhaseTotals") -> None:
+        """PR 6 path: bounded admission + windowed ``plan_many`` batches."""
+        cfg = self.config
+        market = self.setup.market
+        controller = AdmissionController(
+            capacity_per_window=cfg.capacity_per_window, queue_limit=cfg.queue_limit
+        )
+        num_windows = max(1, math.ceil(trace.span_s / cfg.window_s) + 1)
+        job_iter = iter(trace.jobs)
+        pending_job = next(job_iter, None)
+        window = 0
+        while True:
+            window_end = market.start + (window + 1) * cfg.window_s
+            arrivals: list[TraceJob] = []
+            while (
+                pending_job is not None
+                and market.start + pending_job.arrival_s < window_end
+            ):
+                arrivals.append(pending_job)
+                pending_job = next(job_iter, None)
+            admitted, rejected = controller.offer(arrivals)
+            totals.rejected_overload += len(rejected)
+
+            requests: list[PlanRequest] = []
+            request_jobs: list[TraceJob] = []
+            for entry in admitted:
+                job: TraceJob = entry.item  # type: ignore[assignment]
+                if self._deadline_for(job) <= window_end:
+                    # Queued past its whole deadline: the window is
+                    # unservable — an SLO loss, not a planner error.
+                    totals.deadline_lost += 1
+                    continue
+                requests.append(self._request_for(job, window_end))
+                request_jobs.append(job)
+
+            if requests:
+                slots = self.service.plan_many(requests, return_exceptions=True)
+                for job, slot in zip(request_jobs, slots):
+                    if not isinstance(slot, PlanResult):
+                        totals.rejected_invalid += 1
+                        continue
+                    totals.planned += 1
+                    totals.latencies.append(slot.telemetry.latency_s)
+                    totals.queue_waits.append(slot.telemetry.queue_wait_s)
+                    self._execute_planned(job, window_end, totals)
+
+            window += 1
+            if window >= num_windows and pending_job is None and not controller.backlog:
+                break
+        totals.offered = controller.stats.offered
+        totals.admitted = controller.stats.admitted
+        totals.queued = controller.stats.queued
+        totals.queue_peak = controller.stats.queue_peak
+
+    def _frontend_phase(self, trace: ArrivalTrace, totals: "_PhaseTotals") -> None:
+        """Tentpole path: the async frontend over the autoscaled pool.
+
+        Submissions are grouped by planning window (each job's decision
+        time is its arrival window's close, the same simulated-time
+        bookkeeping as the windowed path) but dispatched concurrently —
+        coalescing, batching and scaling happen inside the frontend.
+        Planned jobs execute afterwards in arrival order, so the
+        simulated phase is independent of wall-clock completion order.
+        """
+        cfg = self.config
+        frontend = PlanFrontend(
+            self.service,
+            FrontendConfig(
+                max_inflight=cfg.queue_limit + cfg.capacity_per_window,
+                max_batch=cfg.capacity_per_window,
+                pool=PoolConfig(
+                    min_workers=cfg.frontend_min_workers,
+                    max_workers=cfg.frontend_max_workers,
+                ),
+            ),
+            metrics=self.metrics,
+        )
+        outcomes = asyncio.run(self._drive_frontend(frontend, trace, totals))
+        stats = frontend.stats()
+        totals.offered = len(trace.jobs)
+        totals.admitted = totals.offered - totals.rejected_overload
+        totals.coalesce_hits = stats.coalesced
+        totals.pool_size_peak = stats.pool.size_peak
+        totals.pool_size_low = stats.pool.size_low
+        totals.pool_scale_ups = stats.pool.scale_ups
+        totals.pool_scale_downs = stats.pool.scale_downs
+        totals.dispatch_batches = stats.pool.batches
+        totals.dispatch_batch_max = stats.pool.batch_max
+        # Execute in arrival order, decoupled from resolution order.
+        for job, t_plan in sorted(outcomes, key=lambda pair: pair[0].job_id):
+            self._execute_planned(job, t_plan, totals)
+
+    async def _drive_frontend(
+        self, frontend: PlanFrontend, trace: ArrivalTrace, totals: "_PhaseTotals"
+    ) -> list[tuple[TraceJob, float]]:
+        """Submit the trace through the frontend; returns planned jobs."""
+        cfg = self.config
+        market = self.setup.market
+        planned: list[tuple[TraceJob, float]] = []
+
+        async def submit(job: TraceJob, t_plan: float) -> None:
+            started = time.perf_counter()
+            try:
+                result = await frontend.plan(self._request_for(job, t_plan))
+            except FrontendOverloadError:
+                totals.rejected_overload += 1
+                return
+            except PlanError:
+                totals.rejected_invalid += 1
+                return
+            totals.planned += 1
+            totals.latencies.append(time.perf_counter() - started)
+            totals.queue_waits.append(result.telemetry.queue_wait_s)
+            planned.append((job, t_plan))
+
+        async with frontend:
+            tasks: list[asyncio.Task] = []
+            job_iter = iter(trace.jobs)
+            pending_job = next(job_iter, None)
+            window = 0
+            num_windows = max(1, math.ceil(trace.span_s / cfg.window_s) + 1)
+            while window < num_windows or pending_job is not None:
+                window_end = market.start + (window + 1) * cfg.window_s
+                burst = 0
+                while (
+                    pending_job is not None
+                    and market.start + pending_job.arrival_s < window_end
+                ):
+                    job = pending_job
+                    deadline = self._deadline_for(job)
+                    if deadline <= window_end:
+                        totals.deadline_lost += 1
+                    else:
+                        tasks.append(asyncio.create_task(submit(job, window_end)))
+                        burst += 1
+                    pending_job = next(job_iter, None)
+                window += 1
+                if cfg.time_scale > 0:
+                    await asyncio.sleep(cfg.window_s / cfg.time_scale)
+                elif burst:
+                    # Yield so the dispatcher and resolvers interleave
+                    # with submission even in saturation mode.
+                    await asyncio.sleep(0)
+            if tasks:
+                await asyncio.gather(*tasks)
+            # Trough ticks: with no traffic left, let the autoscaler
+            # observe the empty system until its EWMA decays and it
+            # powers the pool back down to min_workers (the same ticks a
+            # deployment's idle timer would deliver).  Gather returns
+            # when the asyncio futures resolve, which is *before* the
+            # worker threads record their completions — yield until the
+            # in-system count drains or the ticks would decay a stale
+            # load sample instead of the empty system.
+            for _ in range(200):
+                stats = frontend.pool.stats()
+                if stats.size <= cfg.frontend_min_workers:
+                    break
+                if stats.in_system:
+                    await asyncio.sleep(0.001)
+                    continue
+                frontend.pool.idle_tick()
+        return planned
+
+    # ------------------------------------------------------------------
+    def _execute_planned(
+        self, job: TraceJob, release: float, totals: "_PhaseTotals"
+    ) -> None:
+        """Execute one planned job and fold its costs into *totals*."""
+        if not self.config.execute:
+            return
+        result = self._execute(job, release)
+        totals.executed += 1
+        totals.missed += result.missed_deadline
+        idle, dollars, span = self._granny_costs(job, result)
+        totals.provider_idle += idle
+        totals.user_cost += dollars
+        totals.service_time += span
 
     # ------------------------------------------------------------------
     def _execute(self, job: TraceJob, release: float) -> RunResult:

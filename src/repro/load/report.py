@@ -105,12 +105,46 @@ class LoadReport:
     user_cost_dollars: float
     service_time_s: float
 
+    # Frontend / planner-pool behaviour (wall-clock-dependent: how many
+    # requests coalesced and how the pool scaled depend on real-time
+    # interleaving, so none of these join the fingerprint).
+    frontend: bool = False
+    coalesce_hits: int = 0
+    pool_size_peak: int = 0
+    pool_size_low: int = 0
+    pool_scale_ups: int = 0
+    pool_scale_downs: int = 0
+    dispatch_batches: int = 0
+    dispatch_batch_max: int = 0
+
+    #: Fields excluded from :meth:`fingerprint` on top of the ``*_ms``
+    #: wall-clock percentiles: everything measuring the serving layer's
+    #: real-time behaviour rather than a simulated outcome.
+    WALL_CLOCK_FIELDS = frozenset(
+        {
+            "coalesce_hits",
+            "pool_size_peak",
+            "pool_size_low",
+            "pool_scale_ups",
+            "pool_scale_downs",
+            "dispatch_batches",
+            "dispatch_batch_max",
+        }
+    )
+
     def fingerprint(self) -> str:
-        """SHA-256 over the deterministic (simulated) fields only."""
+        """SHA-256 over the deterministic (simulated) fields only.
+
+        Wall-clock percentiles (``*_ms``) and the serving-layer fields
+        in :data:`WALL_CLOCK_FIELDS` are excluded; two windowed runs of
+        one seed must produce identical fingerprints.  (Frontend-mode
+        simulated outcomes are reproducible too unless backpressure
+        overflow — a real-time effect — sheds different jobs.)
+        """
         payload = {
             k: v
             for k, v in asdict(self).items()
-            if not k.endswith("_ms")  # wall-clock percentiles excluded
+            if not k.endswith("_ms") and k not in self.WALL_CLOCK_FIELDS
         }
         canon = json.dumps(payload, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(canon.encode()).hexdigest()
@@ -190,6 +224,22 @@ class LoadReport:
             format_table(
                 [
                     {
+                        "coalesce_hits": self.coalesce_hits,
+                        "pool_peak": self.pool_size_peak,
+                        "pool_low": self.pool_size_low,
+                        "scale_ups": self.pool_scale_ups,
+                        "scale_downs": self.pool_scale_downs,
+                        "batches": self.dispatch_batches,
+                        "batch_max": self.dispatch_batch_max,
+                    }
+                ],
+                title="Frontend + planner pool",
+            )
+            if self.frontend
+            else None,
+            format_table(
+                [
+                    {
                         "provider_idle_machine_s": round(self.provider_idle_machine_s, 1),
                         "user_cost_$": round(self.user_cost_dollars, 2),
                         "service_time_s": round(self.service_time_s, 1),
@@ -203,4 +253,4 @@ class LoadReport:
                 title="Granny-style costs (provider / user / service time)",
             ),
         ]
-        return "\n\n".join(sections)
+        return "\n\n".join(section for section in sections if section is not None)

@@ -56,6 +56,11 @@ class LoadTraceConfig:
         scales: graph-size scale factors applied to the profile's
             execution time (mixed dataset sizes).
         slack_range: uniform range of the per-job slack fraction.
+        slack_quantum: round each drawn slack fraction to the nearest
+            multiple of this step (0 = continuous).  Real tenants pick
+            round numbers; a nonzero quantum makes same-window arrivals
+            of one (app, scale) cell genuinely identical requests — the
+            duplicate-heavy regime the frontend's coalescing serves.
         periods_s: recurrence periods jobs are tagged with (drives the
             recurring-tenant phase of the harness).
     """
@@ -71,6 +76,7 @@ class LoadTraceConfig:
     app_mix: tuple[tuple[str, float], ...] = DEFAULT_APP_MIX
     scales: tuple[float, ...] = (0.25, 0.5, 1.0)
     slack_range: tuple[float, float] = (0.1, 1.0)
+    slack_quantum: float = 0.0
     periods_s: tuple[float, ...] = (2 * HOURS, 4 * HOURS, 6 * HOURS)
 
     def __post_init__(self):
@@ -92,6 +98,8 @@ class LoadTraceConfig:
         lo, hi = self.slack_range
         if not 0.0 <= lo <= hi:
             raise ValueError("slack_range must satisfy 0 <= lo <= hi")
+        if self.slack_quantum < 0.0:
+            raise ValueError("slack_quantum must be >= 0 (0 = continuous)")
 
 
 @dataclass(frozen=True)
@@ -218,6 +226,11 @@ def generate_trace(config: LoadTraceConfig) -> ArrivalTrace:
         if rng.uniform() * peak > offered_rate(config, t):
             continue
         lo, hi = config.slack_range
+        slack = float(rng.uniform(lo, hi))
+        if config.slack_quantum > 0.0:
+            slack = min(
+                hi, max(lo, config.slack_quantum * round(slack / config.slack_quantum))
+            )
         jobs.append(
             TraceJob(
                 job_id=len(jobs),
@@ -225,7 +238,7 @@ def generate_trace(config: LoadTraceConfig) -> ArrivalTrace:
                 arrival_s=t,
                 app=names[int(rng.choice(len(names), p=weights))],
                 scale=float(config.scales[int(rng.integers(len(config.scales)))]),
-                slack_fraction=float(rng.uniform(lo, hi)),
+                slack_fraction=slack,
                 period_s=float(
                     config.periods_s[int(rng.integers(len(config.periods_s)))]
                 ),

@@ -405,6 +405,54 @@ class PlanningService:
         return rates, False
 
     # ------------------------------------------------------------------
+    # Coalescing identity
+    # ------------------------------------------------------------------
+    def request_key(self, request: PlanRequest) -> tuple | None:
+        """Hashable decision identity of *request*, or None for baselines.
+
+        Two hourglass requests with equal keys are guaranteed to produce
+        bit-identical :class:`Decision`\\ s when planned back-to-back on
+        this service, so an in-flight result can be shared between them
+        (the frontend's coalescing rule).  The guarantee comes from the
+        estimator's own memoisation: the DP memoises root states on
+        ``(config, slack-cell, work-cell, running, depth)`` buckets, so
+        any two requests agreeing on the estimator key, decision time
+        (exact — it selects the rate snapshot and spot usability), slack
+        cell, exact ``work_left`` (echoed verbatim in the decision),
+        current configuration and uptime read identical costs and pick
+        identical argmins.  Baseline strategies keep no memo and may
+        depend on the exact deadline, so they return None (never
+        coalesced — they are microseconds anyway).
+
+        Raises:
+            PlanError: the request fails admission (same rule
+                :meth:`plan` applies).
+        """
+        catalog = self.admit(request.catalog)
+        if request.strategy != "hourglass":
+            return None
+        grids = self.resolved_grids(
+            request.slack_model,
+            request.t,
+            request.work_left,
+            request.slack_grid,
+            request.work_grid,
+        )
+        key = self._estimator_key(catalog, request.slack_model, grids)
+        slack = request.slack_model.slack(request.t, request.work_left)
+        current = (
+            request.current_config.name if request.current_config is not None else None
+        )
+        return (
+            key,
+            request.t,
+            int(slack / grids[0]),
+            request.work_left,
+            current,
+            request.current_uptime,
+        )
+
+    # ------------------------------------------------------------------
     # Decision hook + tracing
     # ------------------------------------------------------------------
     def add_decision_hook(self, hook) -> None:
@@ -659,12 +707,23 @@ class PlanningService:
     # Introspection
     # ------------------------------------------------------------------
     def cache_stats(self) -> CacheStats:
-        """Aggregate memo statistics across every cached estimator."""
+        """Aggregate memo statistics across every cached estimator.
+
+        Each estimator's counters are snapshotted under its own planning
+        lock, so a concurrent planner cannot tear one estimator's
+        hits/misses mid-read (the counters are mutated field-by-field
+        during a DP walk).  The entry list itself is snapshotted under
+        ``_mutex`` first and the per-entry locks are taken only after it
+        is released — planners acquire an entry lock before touching
+        ``_mutex`` on the batch path, so nesting the other way around
+        would deadlock.
+        """
         with self._mutex:
             entries = list(self._entries.values())
         hits = misses = invalidations = states = epochs = 0
         for entry in entries:
-            stats = entry.estimator.cache_stats()
+            with entry.lock:
+                stats = entry.estimator.cache_stats()
             hits += stats.hits
             misses += stats.misses
             invalidations += stats.invalidations

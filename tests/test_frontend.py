@@ -1,0 +1,511 @@
+"""Async frontend + planner pool: coalescing, batching, backpressure, scaling.
+
+The serving-layer contract under test:
+
+* **Coalescing is invisible** — N concurrent identical requests cost one
+  estimator evaluation, and every waiter receives the bit-identical
+  :class:`PlanResult` the sequential path would have produced.
+* **Nothing is silently dropped** — every admitted submission resolves
+  to a result or an error; overflow fails fast with
+  :class:`FrontendOverloadError` before anything is queued.
+* **The pool follows the load** — the square-root staffing rule powers
+  workers up inside one burst sample and back down only after the
+  trough proves itself (asymmetric hysteresis).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import replace
+
+import pytest
+
+from repro.core.job import PAGERANK_PROFILE, SSSP_PROFILE, job_with_slack
+from repro.core.slack import SlackModel
+from repro.experiments.common import ExperimentSetup
+from repro.load import HarnessConfig, LoadHarness, LoadTraceConfig, generate_trace
+from repro.load.__main__ import _parse_workers, main as load_main
+from repro.obs.metrics import MetricsRegistry
+from repro.service import (
+    Autoscaler,
+    FrontendConfig,
+    FrontendOverloadError,
+    PlanError,
+    PlanFrontend,
+    PlannerPool,
+    PlanningService,
+    PlanRequest,
+    PlanResult,
+    PoolConfig,
+)
+
+
+@pytest.fixture(scope="module")
+def setup() -> ExperimentSetup:
+    return ExperimentSetup(seed=42, trace_days=12)
+
+
+def _slack_model(setup, profile, slack=0.5, start=0.0):
+    perf = setup.perf_model(profile)
+    lrc = setup.lrc(perf)
+    job = job_with_slack(profile, start, slack, perf.fixed_time(lrc))
+    return SlackModel(perf=perf, lrc=lrc, deadline=job.deadline)
+
+
+def _request(setup, profile=PAGERANK_PROFILE, slack=0.5, **kwargs):
+    return PlanRequest(
+        slack_model=_slack_model(setup, profile, slack=slack),
+        catalog=setup.catalog,
+        **kwargs,
+    )
+
+
+# ----------------------------------------------------------------------
+# Autoscaler policy
+# ----------------------------------------------------------------------
+class TestAutoscaler:
+    def test_compute_n_clamps_and_grows(self):
+        scaler = Autoscaler(PoolConfig(min_workers=1, max_workers=8))
+        assert scaler.compute_n(0.0) == 1
+        sizes = [scaler.compute_n(rho) for rho in (0.0, 0.5, 1.0, 2.0, 4.0, 8.0, 100.0)]
+        assert sizes == sorted(sizes)  # monotone in offered load
+        assert sizes[-1] == 8  # clamped at max_workers
+        assert scaler.compute_n(-3.0) == 1  # negative load treated as idle
+
+    def test_square_root_safety_margin(self):
+        # The staffing equation keeps n* strictly above rho (headroom
+        # grows like sqrt(rho) — the M/M/N-style margin).
+        scaler = Autoscaler(PoolConfig(min_workers=1, max_workers=1000))
+        for rho in (1.0, 4.0, 16.0, 64.0):
+            n = scaler.compute_n(rho)
+            assert rho < n <= rho + 1 + 2 * (rho**0.5)
+
+    def test_scale_up_is_immediate(self):
+        scaler = Autoscaler(PoolConfig(min_workers=1, max_workers=8))
+        assert scaler.observe(12, current_size=1) > 1  # one burst sample
+
+    def test_scale_down_needs_consecutive_votes(self):
+        config = PoolConfig(min_workers=1, max_workers=8, down_hysteresis=3)
+        scaler = Autoscaler(config)
+        size = scaler.observe(12, 1)
+        assert size > 1
+        # Two idle votes: not enough.
+        assert scaler.observe(0, size) == size
+        assert scaler.observe(0, size) == size
+        # An interleaved burst resets the down votes.
+        assert scaler.observe(12, size) == size
+        assert scaler.observe(0, size) == size
+        assert scaler.observe(0, size) == size
+        # The third consecutive idle vote powers down.
+        assert scaler.observe(0, size) < size
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError, match="min_workers"):
+            PoolConfig(min_workers=0)
+        with pytest.raises(ValueError, match="max_workers"):
+            PoolConfig(min_workers=4, max_workers=2)
+        with pytest.raises(ValueError, match="target_utilization"):
+            PoolConfig(target_utilization=0.0)
+        with pytest.raises(ValueError, match="hysteresis"):
+            PoolConfig(down_hysteresis=0)
+        with pytest.raises(ValueError, match="max_inflight"):
+            FrontendConfig(max_inflight=0)
+        with pytest.raises(ValueError, match="max_batch"):
+            FrontendConfig(max_batch=0)
+
+
+# ----------------------------------------------------------------------
+# PlannerPool mechanics (stub service: no estimator cost)
+# ----------------------------------------------------------------------
+class _StubService:
+    """plan_many echoes its inputs; optionally gated on an event."""
+
+    def __init__(self, gate: threading.Event | None = None, delay: float = 0.0):
+        self.gate = gate
+        self.delay = delay
+        self.calls: list[int] = []
+
+    def request_key(self, request):
+        return None
+
+    def plan_many(self, requests, return_exceptions=True):
+        if self.gate is not None:
+            self.gate.wait(timeout=30)
+        if self.delay:
+            time.sleep(self.delay)
+        self.calls.append(len(requests))
+        return [("planned", req) for req in requests]
+
+
+class TestPlannerPool:
+    def test_batches_resolve_in_request_order(self):
+        service = _StubService()
+        with PlannerPool(service, PoolConfig(), metrics=MetricsRegistry()) as pool:
+            futures = [pool.submit_batch([f"r{i}a", f"r{i}b"]) for i in range(5)]
+            for i, future in enumerate(futures):
+                assert future.result(timeout=30) == [
+                    ("planned", f"r{i}a"),
+                    ("planned", f"r{i}b"),
+                ]
+        stats = pool.stats()
+        assert stats.batches == 5 and stats.requests == 10 and stats.batch_max == 2
+
+    def test_scales_up_under_load_and_decays_idle(self):
+        service = _StubService(delay=0.005)
+        pool = PlannerPool(
+            service, PoolConfig(min_workers=1, max_workers=6), metrics=MetricsRegistry()
+        )
+        futures = [pool.submit_batch(["x"] * 4) for _ in range(30)]
+        for future in futures:
+            future.result(timeout=30)
+        assert pool.stats().size_peak > 1
+        assert pool.stats().scale_ups >= 1
+        for _ in range(200):
+            if pool.stats().in_system:
+                time.sleep(0.001)
+                continue
+            if pool.stats().size <= 1:
+                break
+            pool.idle_tick()
+        stats = pool.stats()
+        assert stats.size == 1
+        assert stats.scale_downs >= 1
+        assert stats.size_low == 1
+        pool.close()
+
+    def test_close_drains_queued_batches(self):
+        # One worker, gated: queue several batches behind the gate, then
+        # close concurrently — FIFO drain means every batch still
+        # resolves (the no-silent-drop guarantee).
+        gate = threading.Event()
+        service = _StubService(gate=gate)
+        pool = PlannerPool(
+            service,
+            PoolConfig(min_workers=1, max_workers=1),
+            metrics=MetricsRegistry(),
+        )
+        futures = [pool.submit_batch([i]) for i in range(4)]
+        with ThreadPoolExecutor(1) as ex:
+            closer = ex.submit(pool.close)
+            gate.set()
+            closer.result(timeout=30)
+        for i, future in enumerate(futures):
+            assert future.result(timeout=1) == [("planned", i)]
+        with pytest.raises(RuntimeError, match="closed"):
+            pool.submit_batch(["late"])
+
+    def test_timeline_records_resizes(self):
+        service = _StubService(delay=0.005)
+        with PlannerPool(
+            service, PoolConfig(min_workers=1, max_workers=4), metrics=MetricsRegistry()
+        ) as pool:
+            futures = [pool.submit_batch(["x"] * 4) for _ in range(20)]
+            for future in futures:
+                future.result(timeout=30)
+            timeline = pool.timeline()
+        sizes = [size for _, size in timeline]
+        assert sizes[0] == 1  # starts at min_workers
+        assert max(sizes) == pool.stats().size_peak
+        times = [t for t, _ in timeline]
+        assert times == sorted(times)
+
+
+# ----------------------------------------------------------------------
+# Coalescing identity (request_key)
+# ----------------------------------------------------------------------
+class TestRequestKey:
+    def test_identical_requests_share_a_key(self, setup):
+        service = PlanningService(setup.market)
+        a = _request(setup, t=100.0)
+        b = _request(setup, t=100.0)
+        assert service.request_key(a) == service.request_key(b)
+
+    def test_different_slack_cells_do_not_share(self, setup):
+        service = PlanningService(setup.market)
+        a = _request(setup, slack=0.2)
+        b = _request(setup, slack=0.9)
+        assert service.request_key(a) != service.request_key(b)
+
+    def test_baselines_never_coalesce(self, setup):
+        service = PlanningService(setup.market)
+        request = _request(setup, strategy="on-demand")
+        assert service.request_key(request) is None
+
+    def test_admission_applies(self, setup):
+        service = PlanningService(setup.market)
+        with pytest.raises(PlanError, match="empty catalogue"):
+            service.request_key(
+                replace(_request(setup), catalog=())
+            )
+
+
+# ----------------------------------------------------------------------
+# Frontend: coalescing, bit-identity, backpressure
+# ----------------------------------------------------------------------
+class TestFrontendCoalescing:
+    def test_concurrent_identical_requests_plan_once(self, setup):
+        service = PlanningService(setup.market)
+        metrics = MetricsRegistry()
+        request = _request(setup)
+        n = 8
+
+        async def drive():
+            async with PlanFrontend(service, metrics=metrics) as frontend:
+                results = await asyncio.gather(
+                    *(frontend.plan(request) for _ in range(n))
+                )
+                return results, frontend.stats()
+
+        results, stats = asyncio.run(drive())
+        # One estimator evaluation answered all of them...
+        assert service.service_stats()["plans"] == 1
+        assert stats.planned == 1 and stats.coalesced == n - 1
+        assert stats.submitted == n
+        # ...and every waiter got the identical decision.
+        assert all(isinstance(r, PlanResult) for r in results)
+        first = results[0]
+        assert all(r.decision == first.decision for r in results)
+        # Telemetry separates the leader from the coalesced waiters.
+        counter = metrics.counter(
+            "svc_pool_requests_total", "Frontend submissions by outcome"
+        )
+        assert counter.value(outcome="planned") == 1
+        assert counter.value(outcome="coalesced") == n - 1
+
+    def test_matches_sequential_plan_bit_for_bit(self, setup):
+        request = _request(setup)
+        sequential = PlanningService(setup.market).plan(request)
+
+        async def drive():
+            service = PlanningService(setup.market)
+            async with PlanFrontend(service) as frontend:
+                return await frontend.plan(request)
+
+        via_frontend = asyncio.run(drive())
+        assert via_frontend.decision == sequential.decision
+
+    def test_distinct_requests_are_not_coalesced(self, setup):
+        service = PlanningService(setup.market)
+
+        async def drive():
+            async with PlanFrontend(service) as frontend:
+                results = await asyncio.gather(
+                    frontend.plan(_request(setup, slack=0.2)),
+                    frontend.plan(_request(setup, slack=0.9)),
+                )
+                return results, frontend.stats()
+
+        (low, high), stats = asyncio.run(drive())
+        assert isinstance(low, PlanResult) and isinstance(high, PlanResult)
+        assert stats.coalesced == 0 and stats.planned == 2
+        assert service.service_stats()["plans"] == 2
+
+    def test_coalesce_can_be_disabled(self, setup):
+        service = PlanningService(setup.market)
+        request = _request(setup)
+
+        async def drive():
+            config = FrontendConfig(coalesce=False)
+            async with PlanFrontend(service, config) as frontend:
+                await asyncio.gather(*(frontend.plan(request) for _ in range(4)))
+                return frontend.stats()
+
+        stats = asyncio.run(drive())
+        assert stats.coalesced == 0 and stats.planned == 4
+
+    def test_admission_rejection_counts_and_raises(self, setup):
+        service = PlanningService(setup.market)
+
+        async def drive():
+            async with PlanFrontend(service) as frontend:
+                with pytest.raises(PlanError, match="empty catalogue"):
+                    await frontend.plan(replace(_request(setup), catalog=()))
+                return frontend.stats()
+
+        stats = asyncio.run(drive())
+        assert stats.rejected == 1 and stats.planned == 0
+
+
+class TestFrontendBackpressure:
+    def test_overflow_fails_fast_and_nothing_is_lost(self):
+        gate = threading.Event()
+        service = _StubService(gate=gate)
+        config = FrontendConfig(
+            max_inflight=2,
+            max_batch=1,
+            pool=PoolConfig(min_workers=1, max_workers=1),
+        )
+
+        async def drive():
+            async with PlanFrontend(service, config) as frontend:
+                first = asyncio.ensure_future(frontend.plan("req-a"))
+                second = asyncio.ensure_future(frontend.plan("req-b"))
+                await asyncio.sleep(0.01)  # both admitted, pool gated
+                with pytest.raises(FrontendOverloadError, match="overloaded"):
+                    await frontend.plan("req-c")
+                stats_mid = frontend.stats()
+                gate.set()
+                outcomes = await asyncio.gather(
+                    first, second, return_exceptions=True
+                )
+                return stats_mid, outcomes, frontend.stats()
+
+        stats_mid, outcomes, stats = asyncio.run(drive())
+        assert stats_mid.overflowed == 1
+        # The admitted pair still resolved (stub outcomes surface as
+        # PlanError — resolved-with-error, never lost).
+        assert len(outcomes) == 2
+        assert all(isinstance(o, PlanError) for o in outcomes)
+        assert stats.submitted == stats.planned + stats.coalesced + stats.rejected + stats.overflowed
+
+    def test_plan_after_close_raises(self, setup):
+        service = PlanningService(setup.market)
+
+        async def drive():
+            frontend = PlanFrontend(service)
+            await frontend.start()
+            await frontend.aclose()
+            with pytest.raises(PlanError, match="not running"):
+                await frontend.plan(_request(setup))
+
+        asyncio.run(drive())
+
+
+# ----------------------------------------------------------------------
+# cache_stats: atomic snapshot under concurrency
+# ----------------------------------------------------------------------
+class TestCacheStatsSnapshot:
+    def test_consistent_under_concurrent_planning(self, setup):
+        service = PlanningService(setup.market)
+        requests = [
+            _request(setup, profile=profile, slack=slack, t=float(t))
+            for profile in (PAGERANK_PROFILE, SSSP_PROFILE)
+            for slack in (0.3, 0.7)
+            for t in (0, 900)
+        ]
+
+        def reader():
+            for _ in range(50):
+                stats = service.cache_stats()
+                assert stats.hits >= 0 and stats.misses >= 0
+                assert stats.entries >= 0
+
+        with ThreadPoolExecutor(4) as ex:
+            futures = [ex.submit(service.plan_many, requests) for _ in range(2)]
+            futures += [ex.submit(reader) for _ in range(2)]
+            for future in futures:
+                future.result(timeout=120)
+        final = service.cache_stats()
+        assert final.hits + final.misses > 0
+
+
+# ----------------------------------------------------------------------
+# Harness frontend mode + trace quantisation + CLI
+# ----------------------------------------------------------------------
+class TestHarnessFrontendMode:
+    @pytest.fixture(scope="class")
+    def report(self):
+        config = HarnessConfig(
+            trace=LoadTraceConfig(seed=11, num_jobs=40, num_tenants=6),
+            trace_days=8,
+            recurring_tenants=1,
+            recurring_periods=2,
+            frontend=True,
+            frontend_min_workers=1,
+            frontend_max_workers=4,
+        )
+        return LoadHarness(config, metrics=MetricsRegistry()).run()
+
+    def test_every_offer_resolves(self, report):
+        resolved = (
+            report.planned
+            + report.rejected_overload
+            + report.rejected_invalid
+            + report.deadline_lost
+        )
+        assert resolved == report.offered == 40
+
+    def test_report_carries_pool_story(self, report):
+        assert report.frontend
+        assert report.dispatch_batches > 0
+        assert report.pool_size_peak >= 1
+        assert "Frontend + planner pool" in report.render()
+
+    def test_fingerprint_ignores_serving_layer_fields(self, report):
+        perturbed = replace(
+            report,
+            coalesce_hits=report.coalesce_hits + 5,
+            pool_size_peak=99,
+            pool_scale_ups=77,
+            dispatch_batches=123,
+        )
+        assert perturbed.fingerprint() == report.fingerprint()
+        assert replace(report, planned=report.planned + 1).fingerprint() != (
+            report.fingerprint()
+        )
+
+    def test_windowed_report_omits_pool_section(self):
+        config = HarnessConfig(
+            trace=LoadTraceConfig(seed=11, num_jobs=10),
+            trace_days=8,
+            recurring_tenants=0,
+            execute=False,
+        )
+        report = LoadHarness(config, metrics=MetricsRegistry()).run()
+        assert not report.frontend
+        assert "Frontend + planner pool" not in report.render()
+
+
+class TestSlackQuantum:
+    def test_quantised_slacks_land_on_the_grid(self):
+        config = LoadTraceConfig(seed=3, num_jobs=200, slack_quantum=0.25)
+        trace = generate_trace(config)
+        lo, hi = config.slack_range
+        for job in trace.jobs:
+            if lo < job.slack_fraction < hi:  # interior points sit on the grid
+                assert job.slack_fraction % 0.25 == pytest.approx(0.0, abs=1e-9)
+            assert lo <= job.slack_fraction <= hi
+
+    def test_quantum_is_deterministic_and_distinct(self):
+        config = LoadTraceConfig(seed=3, num_jobs=50, slack_quantum=0.25)
+        assert generate_trace(config).checksum() == generate_trace(config).checksum()
+        continuous = LoadTraceConfig(seed=3, num_jobs=50)
+        assert generate_trace(config).checksum() != generate_trace(continuous).checksum()
+
+    def test_negative_quantum_rejected(self):
+        with pytest.raises(ValueError, match="slack_quantum"):
+            LoadTraceConfig(slack_quantum=-0.1)
+
+
+class TestLoadCli:
+    def test_parse_workers(self):
+        assert _parse_workers("2:6") == (2, 6)
+        assert _parse_workers("3") == (3, 3)
+        with pytest.raises(Exception, match="MIN"):
+            _parse_workers("4:2")
+        with pytest.raises(Exception, match="MIN"):
+            _parse_workers("a:b")
+
+    def test_frontend_run_exits_clean(self, capsys):
+        code = load_main(
+            [
+                "--jobs",
+                "20",
+                "--seed",
+                "11",
+                "--trace-days",
+                "8",
+                "--recurring-tenants",
+                "0",
+                "--plan-only",
+                "--frontend",
+                "--workers",
+                "1:3",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Frontend + planner pool" in out
