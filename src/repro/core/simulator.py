@@ -77,6 +77,11 @@ class ExecutionSimulator:
             the uniform model consistent, the default) or ``"raw"``
             (naive work fraction; exposes the model-mismatch failure
             mode of footnote 2).
+        frontier_curve: optional
+            :class:`~repro.exec.frontier.FrontierCurve` the work model
+            replays (non-stationary algorithms).  When no explicit
+            *phase_model* is given the curve also supplies the phase
+            profile, keeping frontier and progress-rate consistent.
         observers: :class:`~repro.exec.observers.LifecycleObserver`
             plug-ins (metrics collection, fault injection).
     """
@@ -94,6 +99,7 @@ class ExecutionSimulator:
         work_accounting: str = ACCOUNT_TIME,
         observers=(),
         service=None,
+        frontier_curve=None,
     ):
         if ckpt_interval_scale <= 0:
             raise ValueError("ckpt_interval_scale must be positive")
@@ -111,6 +117,9 @@ class ExecutionSimulator:
         self.record_events = record_events
         self.warning = warning
         self.ckpt_interval_scale = ckpt_interval_scale
+        self.frontier_curve = frontier_curve
+        if phase_model is None and frontier_curve is not None:
+            phase_model = frontier_curve.to_phases()
         self.phases = phase_model or PhaseModel.uniform()
         self.work_accounting = work_accounting
         self.observers = tuple(observers)
@@ -130,6 +139,7 @@ class ExecutionSimulator:
             work_accounting=self.work_accounting,
             warning=self.warning,
             initial_work=job.work,
+            frontier_curve=self.frontier_curve,
         )
         lifecycle = ExecutionLifecycle(
             market=self.market,
@@ -140,5 +150,6 @@ class ExecutionSimulator:
             record_events=self.record_events,
             ckpt_interval_scale=self.ckpt_interval_scale,
             observers=self.observers,
+            rescale_policy=getattr(self.provisioner, "rescale_policy", None),
         )
         return lifecycle.run(job.release_time, job.deadline)

@@ -443,5 +443,27 @@ class PregelEngine:
                 for s in state["stats"]
             ][: self.superstep]
         else:
+            # Legacy per-worker snapshots never recorded superstep
+            # statistics, so a fresh engine restoring one would report an
+            # empty frontier series while claiming superstep > 0.  Keep
+            # whatever real history this engine has up to the restored
+            # counter and backfill the rest from the restored state: the
+            # active set at the checkpoint is the non-halted vertices
+            # plus any halted ones woken by a pending message.  Message
+            # totals are genuinely lost and stay 0.
             self.stats = self.stats[: self.superstep]
+            if len(self.stats) < self.superstep:
+                runnable = ~self._halted | self._incoming.destination_mask(n)
+                active = int(np.count_nonzero(runnable))
+                for step in range(len(self.stats), self.superstep):
+                    self.stats.append(
+                        SuperstepStats(
+                            superstep=step,
+                            active_vertices=active,
+                            messages_sent=0,
+                            local_messages=0,
+                            remote_messages=0,
+                            remote_bytes=0,
+                        )
+                    )
         self._prev_aggregates = dict(state["prev_aggregates"])

@@ -14,17 +14,28 @@ from repro.exec.errors import (
     SimulationError,
     StepBudgetError,
 )
-from repro.exec.events import LifecycleEvent, RunResult
+from repro.exec.events import LifecycleEvent, RescaleRecord, RunResult
 from repro.exec.faults import (
     DatastoreWriteFaults,
     EvictionStormFaults,
     SlowBootFaults,
+)
+from repro.exec.frontier import (
+    APP_FRONTIERS,
+    FrontierCurve,
+    frontier_for_app,
 )
 from repro.exec.lifecycle import MAX_STEPS, ExecutionLifecycle
 from repro.exec.observers import (
     CheckpointWritePlan,
     LifecycleObserver,
     MetricsObserver,
+)
+from repro.exec.rescale import (
+    FrontierThresholdPolicy,
+    RescaleContext,
+    RescaleDecision,
+    RescalePolicy,
 )
 from repro.obs.events import TimelineEvent
 from repro.exec.workmodel import (
@@ -36,6 +47,7 @@ from repro.exec.workmodel import (
 )
 
 __all__ = [
+    "APP_FRONTIERS",
     "AnalyticWorkModel",
     "BillingMeter",
     "CheckpointWritePlan",
@@ -43,12 +55,19 @@ __all__ = [
     "EvictionStormFaults",
     "ExecutionError",
     "ExecutionLifecycle",
+    "FrontierCurve",
+    "FrontierThresholdPolicy",
     "HorizonError",
     "LifecycleEvent",
     "LifecycleObserver",
     "MAX_STEPS",
     "MetricsObserver",
+    "RescaleContext",
+    "RescaleDecision",
+    "RescalePolicy",
+    "RescaleRecord",
     "RunResult",
+    "frontier_for_app",
     "SegmentPlan",
     "SimulationError",
     "SlowBootFaults",

@@ -1,0 +1,165 @@
+"""Frontier curves: the active-vertex signal as a first-class object.
+
+Non-stationary vertex programs (SSSP/BFS/WCC) do not keep every vertex
+busy: the *frontier* — the fraction of vertices active in a superstep —
+starts near 1 and collapses in the late supersteps, so most provisioned
+workers idle through the tail (Dindokar & Simmhan).  A
+:class:`FrontierCurve` describes that collapse as a function of raw work
+progress, and is consumed in two places:
+
+* :meth:`~repro.exec.workmodel.WorkModel.frontier` reports the current
+  frontier fraction at every decision point (measured from live engine
+  statistics in the runtime, replayed from a curve in the simulator);
+* :meth:`FrontierCurve.to_phases` compiles the curve into a
+  :class:`~repro.core.phases.PhaseModel` — a superstep whose frontier is
+  10% of the vertices takes ~10% of a full superstep's time, so the
+  per-unit-work *speed* of late work is the reciprocal of the frontier.
+  Under time accounting the reported work-left then tightens exactly as
+  the frontier shrinks, which is what lets the planner discover that a
+  smaller configuration finishes the tail in time.
+
+Curves are pure value objects: deterministic, hashable-by-content and
+safe to share between the simulator and the planner.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.phases import Phase, PhaseModel
+
+#: Frontier fractions are floored here when compiled to phase speeds —
+#: a zero frontier would mean an infinitely fast (zero-cost) superstep.
+MIN_FRONTIER = 1e-3
+
+
+@dataclass(frozen=True)
+class FrontierCurve:
+    """Piecewise-linear frontier fraction over raw work progress.
+
+    Attributes:
+        points: ``(progress, frontier)`` knots with progress ascending
+            over [0, 1]; frontier values in (0, 1].  Between knots the
+            curve interpolates linearly; outside the knot range it
+            clamps to the nearest knot.
+    """
+
+    points: tuple[tuple[float, float], ...]
+
+    def __post_init__(self):
+        if not self.points:
+            raise ValueError("a frontier curve needs at least one point")
+        last = -math.inf
+        for progress, frontier in self.points:
+            if not 0.0 <= progress <= 1.0:
+                raise ValueError(f"progress {progress} outside [0, 1]")
+            if progress <= last:
+                raise ValueError("frontier-curve progress must be ascending")
+            if not 0.0 < frontier <= 1.0:
+                raise ValueError(f"frontier {frontier} outside (0, 1]")
+            last = progress
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def flat(cls, level: float = 1.0) -> "FrontierCurve":
+        """A stationary program: every superstep touches *level* of the graph."""
+        return cls(points=((0.0, level),))
+
+    @classmethod
+    def exponential(cls, half_life: float = 0.25, floor: float = 0.01,
+                    knots: int = 17) -> "FrontierCurve":
+        """Frontier halving every *half_life* of the work (SSSP-shaped).
+
+        Args:
+            half_life: work fraction over which the frontier halves.
+            floor: lower clamp (a residual trickle of active vertices).
+            knots: piecewise-linear resolution.
+        """
+        if half_life <= 0:
+            raise ValueError("half_life must be positive")
+        if knots < 2:
+            raise ValueError("need at least 2 knots")
+        pts = []
+        for i in range(knots):
+            p = i / (knots - 1)
+            f = max(floor, 0.5 ** (p / half_life))
+            pts.append((p, min(1.0, f)))
+        return cls(points=tuple(pts))
+
+    @classmethod
+    def from_series(cls, active_counts, num_vertices: int | None = None) -> "FrontierCurve":
+        """Fit a curve to a measured per-superstep active-vertex series.
+
+        Raw work progress is superstep-index fraction (superstep *i* of
+        *n* sits at progress ``(i + 0.5) / n``), so compiling the fitted
+        curve with :meth:`to_phases` replays the measured dynamics: each
+        superstep-sized work slice costs time proportional to its
+        measured frontier.
+
+        Args:
+            active_counts: ``active_vertices`` per superstep, in order.
+            num_vertices: normaliser (default: the series' maximum).
+        """
+        counts = [float(c) for c in active_counts]
+        if not counts:
+            raise ValueError("need at least one superstep of frontier data")
+        denom = float(num_vertices) if num_vertices else max(counts)
+        if denom <= 0:
+            raise ValueError("num_vertices must be positive")
+        n = len(counts)
+        points = tuple(
+            ((i + 0.5) / n, min(1.0, max(MIN_FRONTIER, c / denom)))
+            for i, c in enumerate(counts)
+        )
+        return cls(points=points)
+
+    # ------------------------------------------------------------------
+    def value_at(self, progress: float) -> float:
+        """Frontier fraction at raw work progress *progress* (clamped)."""
+        p = min(1.0, max(0.0, progress))
+        pts = self.points
+        if p <= pts[0][0]:
+            return pts[0][1]
+        for (p0, f0), (p1, f1) in zip(pts, pts[1:]):
+            if p <= p1:
+                span = p1 - p0
+                w = (p - p0) / span if span > 0 else 1.0
+                return f0 + w * (f1 - f0)
+        return pts[-1][1]
+
+    def to_phases(self, num_phases: int = 24) -> PhaseModel:
+        """Compile to a :class:`PhaseModel` progress-rate profile.
+
+        Each of *num_phases* equal raw-work slices runs at speed
+        ``1 / frontier`` (a collapsed frontier means the remaining work
+        flies), floored at :data:`MIN_FRONTIER`; the PhaseModel
+        normalises the result so a full job still takes ``t_exec``.
+        """
+        if num_phases < 1:
+            raise ValueError("num_phases must be >= 1")
+        phases = []
+        for i in range(num_phases):
+            mid = (i + 0.5) / num_phases
+            frontier = max(MIN_FRONTIER, self.value_at(mid))
+            phases.append(Phase(work=1.0 / num_phases, speed=1.0 / frontier))
+        return PhaseModel(phases)
+
+
+#: Curve shapes per paper application, for harnesses that only know the
+#: application name: sssp/wcc collapse (traversal frontiers), pagerank
+#: and coloring are stationary (every vertex active every superstep).
+APP_FRONTIERS: dict[str, FrontierCurve] = {
+    "sssp": FrontierCurve.exponential(half_life=0.18, floor=0.01),
+    "bfs": FrontierCurve.exponential(half_life=0.18, floor=0.01),
+    "wcc": FrontierCurve.exponential(half_life=0.3, floor=0.02),
+    "pagerank": FrontierCurve.flat(),
+    "coloring": FrontierCurve.flat(),
+}
+
+
+def frontier_for_app(app: str) -> FrontierCurve:
+    """Curve for *app* (flat for unknown/stationary applications)."""
+    return APP_FRONTIERS.get(app, FrontierCurve.flat())

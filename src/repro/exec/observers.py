@@ -69,6 +69,14 @@ class LifecycleObserver:
     def on_forced_handover(self, t: float, config: Configuration) -> None:
         """The strategy left no usable time on the deployment."""
 
+    def on_rescale(self, t: float, config: Configuration, decision) -> None:
+        """A planned reconfiguration away from *config* was decided.
+
+        *decision* is the :class:`~repro.exec.rescale.RescaleDecision`;
+        the forced redeploy onto its target follows as a normal
+        ``on_deploy``.
+        """
+
     def on_finish(self, t: float, result) -> None:
         """The job completed; *result* is the final RunResult."""
 
@@ -129,6 +137,7 @@ class MetricsObserver(LifecycleObserver):
         "checkpoints",
         "checkpoint_failures",
         "forced_handovers",
+        "rescales",
         "decisions",
         "warm_decisions",
         "cold_decisions",
@@ -207,6 +216,11 @@ class MetricsObserver(LifecycleObserver):
         """Count the forced decision point."""
         self._bump("forced_handovers")
         self._mark(t, "forced-lrc", config)
+
+    def on_rescale(self, t: float, config: Configuration, decision) -> None:
+        """Count the planned reconfiguration."""
+        self._bump("rescales")
+        self._mark(t, "rescale", config)
 
     def on_finish(self, t: float, result) -> None:
         """Record completion."""

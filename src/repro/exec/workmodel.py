@@ -110,6 +110,24 @@ class WorkModel(abc.ABC):
         """Engine superstep counter (0 for analytic models)."""
         return 0
 
+    def frontier(self) -> float:
+        """Active-vertex fraction in (0, 1] at the current progress.
+
+        The frontier signal drives planned rescaling: engine-backed
+        models measure it from live superstep statistics, analytic
+        models replay a :class:`~repro.exec.frontier.FrontierCurve`.
+        Models without a frontier notion report 1.0 (every vertex
+        active), which keeps all frontier-aware machinery inert.
+        """
+        return 1.0
+
+    def on_rescale(self, t: float, from_config, to_config) -> None:
+        """A planned reconfiguration was decided at time *t*.
+
+        Called before the forced redeploy; engine-backed models use it
+        to meter the fast-reload cost of the upcoming restore.
+        """
+
     def final_values(self) -> dict | None:
         """Computed vertex values (engine-backed models only)."""
         return None
@@ -127,6 +145,11 @@ class AnalyticWorkModel(WorkModel):
             covering ``t_save``, evictions keep the progress made up to
             the warning instant.
         initial_work: outstanding fraction at release (JobSpec.work).
+        frontier_curve: active-vertex decay curve to replay
+            (:class:`~repro.exec.frontier.FrontierCurve`).  When given
+            and no explicit *phases*, the curve also compiles into the
+            phase profile, so frontier collapse and the tightening of
+            time-accounted work-left stay consistent by construction.
     """
 
     def __init__(
@@ -136,12 +159,16 @@ class AnalyticWorkModel(WorkModel):
         work_accounting: str = ACCOUNT_TIME,
         warning: WarningPolicy = NO_WARNING,
         initial_work: float = 1.0,
+        frontier_curve=None,
     ):
         if work_accounting not in (ACCOUNT_TIME, ACCOUNT_RAW):
             raise ValueError(
                 f"work_accounting must be '{ACCOUNT_TIME}' or '{ACCOUNT_RAW}'"
             )
         self.perf = perf
+        self.frontier_curve = frontier_curve
+        if phases is None and frontier_curve is not None:
+            phases = frontier_curve.to_phases()
         self.phases = phases or PhaseModel.uniform()
         self.work_accounting = work_accounting
         self.warning = warning
@@ -169,6 +196,13 @@ class AnalyticWorkModel(WorkModel):
         if self.work_accounting == ACCOUNT_TIME:
             return self.phases.time_remaining(self._work)
         return self._work
+
+    def frontier(self) -> float:
+        """Replayed frontier fraction at the current raw progress."""
+        if self.frontier_curve is None:
+            return 1.0
+        progress = 1.0 - self._work / self.initial_work if self.initial_work else 1.0
+        return self.frontier_curve.value_at(progress)
 
     def run_segment(self, config: Configuration, budget: float) -> SegmentPlan:
         """Plan an analytic segment: min(remaining run, budget)."""
@@ -224,6 +258,12 @@ class SuperstepWorkModel(WorkModel):
         self.total_supersteps = len(perf.calibration.stats)
         self._done = 0
         self._persisted = 0
+        graph = getattr(perf, "graph", None)
+        if graph is not None and getattr(graph, "num_vertices", 0):
+            self._frontier_denom = float(graph.num_vertices)
+        else:
+            actives = [s.active_vertices for s in perf.calibration.stats]
+            self._frontier_denom = float(max(actives)) if actives else 1.0
 
     def start(self) -> None:
         """Reset per-run progress state."""
@@ -272,3 +312,18 @@ class SuperstepWorkModel(WorkModel):
     def superstep(self) -> int:
         """Supersteps completed so far."""
         return self._done
+
+    def frontier(self) -> float:
+        """Measured frontier replayed from the calibration statistics.
+
+        Reports the active fraction of the *last completed* superstep —
+        the same signal :class:`~repro.runtime.workmodel.EngineWorkModel`
+        measures from its live engine, so a replayed run and the real
+        runtime see identical frontier series.
+        """
+        if self._done <= 0 or self._frontier_denom <= 0:
+            return 1.0
+        stats = self.perf.calibration.stats
+        index = min(self._done, len(stats)) - 1
+        fraction = stats[index].active_vertices / self._frontier_denom
+        return min(1.0, max(0.0, fraction))

@@ -9,6 +9,7 @@ from repro.experiments import (
     fig7_gc_zoom,
     fig8_quality,
     fig9_decision_time,
+    fig_elastic,
     table2_datasets,
 )
 from repro.experiments.common import (
@@ -35,6 +36,7 @@ __all__ = [
     "fig7_gc_zoom",
     "fig8_quality",
     "fig9_decision_time",
+    "fig_elastic",
     "format_markdown",
     "format_table",
     "offline_partition_cost",

@@ -31,10 +31,21 @@ from repro.experiments import (
     fig7_gc_zoom,
     fig8_quality,
     fig9_decision_time,
+    fig_elastic,
     table2_datasets,
 )
 
-EXPERIMENTS = ("table2", "fig1", "fig5", "fig6", "fig7", "fig8", "fig9", "ablations")
+EXPERIMENTS = (
+    "table2",
+    "fig1",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "elastic",
+    "ablations",
+)
 
 
 def _run_one(name: str, setup: ExperimentSetup, quick: bool) -> str:
@@ -66,6 +77,11 @@ def _run_one(name: str, setup: ExperimentSetup, quick: bool) -> str:
         slacks = (0.1, 0.5) if quick else fig9_decision_time.DEFAULT_SLACKS
         return fig9_decision_time.render(
             fig9_decision_time.run(setup, slacks=slacks)
+        )
+    if name == "elastic":
+        slacks = (0.3, 0.8) if quick else fig_elastic.DEFAULT_SLACKS
+        return fig_elastic.render(
+            fig_elastic.run(setup, slacks=slacks, num_simulations=gc_sims)
         )
     if name == "ablations":
         parts = [

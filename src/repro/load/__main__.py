@@ -17,6 +17,12 @@ autoscaler both powered up and powered down.  In frontend mode the
 process also verifies the no-silent-drop invariant: every offered job
 must resolve to exactly one outcome.
 
+``--elastic`` executes with per-app frontier-decay curves under the
+``elastic`` strategy (planned mid-job rescaling on the active-vertex
+frontier); ``--require-rescale`` makes the run degenerate unless at
+least one planned shrink landed and no executed run missed its deadline
+(the CI elastic-smoke gate).
+
 ``--out DIR`` additionally writes ``report.txt``, the arrival trace as
 ``trace.jsonl`` (replayable via :meth:`ArrivalTrace.from_jsonl`) and the
 ``load_*`` metrics in Prometheus text format as ``metrics.prom``.
@@ -53,6 +59,33 @@ def _parse_workers(value: str) -> tuple[int, int]:
     return low, high
 
 
+def _parse_scales(value: str) -> tuple[float, ...]:
+    """Parse a comma-separated list of positive scale factors."""
+    try:
+        scales = tuple(float(v) for v in value.split(","))
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(
+            f"expected comma-separated floats, got {value!r}"
+        ) from exc
+    if not scales or any(s <= 0 for s in scales):
+        raise argparse.ArgumentTypeError(f"scales must be positive, got {value!r}")
+    return scales
+
+
+def _parse_slack_range(value: str) -> tuple[float, float]:
+    """Parse a ``LO:HI`` slack-fraction range."""
+    lo, _, hi = value.partition(":")
+    try:
+        low, high = float(lo), float(hi)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(
+            f"expected LO:HI slack fractions, got {value!r}"
+        ) from exc
+    if not 0 <= low <= high:
+        raise argparse.ArgumentTypeError(f"need 0 <= LO <= HI, got {value!r}")
+    return low, high
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="python -m repro.load", description=__doc__)
     parser.add_argument("--jobs", type=int, default=1000, help="arrivals to generate")
@@ -60,6 +93,22 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--tenants", type=int, default=20)
     parser.add_argument(
         "--arrivals-per-hour", type=float, default=120.0, help="mean offered rate"
+    )
+    parser.add_argument(
+        "--scales",
+        type=_parse_scales,
+        default=None,
+        metavar="S1,S2,...",
+        help="graph-size scale factors for the trace (default: the "
+        "generator's 0.25,0.5,1.0; large scales give jobs long enough "
+        "to checkpoint — and, with --elastic, to rescale)",
+    )
+    parser.add_argument(
+        "--slack-range",
+        type=_parse_slack_range,
+        default=None,
+        metavar="LO:HI",
+        help="uniform per-job slack-fraction range (default 0.1:1.0)",
     )
     parser.add_argument(
         "--slack-quantum",
@@ -77,7 +126,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--queue-limit", type=int, default=256, help="admission backlog bound"
     )
-    parser.add_argument("--strategy", default="hourglass")
+    parser.add_argument(
+        "--strategy",
+        default=None,
+        help="planning strategy (default: hourglass, or elastic with --elastic)",
+    )
     parser.add_argument("--trace-days", type=int, default=14)
     parser.add_argument(
         "--recurring-tenants", type=int, default=4, help="interleaved recurring phase"
@@ -113,6 +166,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="frontend mode: fail unless the pool scaled up AND back down",
     )
     parser.add_argument(
+        "--elastic",
+        action="store_true",
+        help="execute with frontier-decay curves and planned mid-job "
+        "rescaling (defaults --strategy to 'elastic')",
+    )
+    parser.add_argument(
+        "--require-rescale",
+        action="store_true",
+        help="elastic mode: fail unless >= 1 planned shrink landed and "
+        "no executed run missed its deadline",
+    )
+    parser.add_argument(
         "--out", type=Path, default=None, help="artifact directory (report/trace/metrics)"
     )
     return parser
@@ -121,19 +186,26 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv=None) -> int:
     """Run the harness; returns a process exit code."""
     args = build_parser().parse_args(argv)
+    trace_kwargs = {}
+    if args.scales is not None:
+        trace_kwargs["scales"] = args.scales
+    if args.slack_range is not None:
+        trace_kwargs["slack_range"] = args.slack_range
     trace_config = LoadTraceConfig(
         seed=args.seed,
         num_jobs=args.jobs,
         num_tenants=args.tenants,
         arrivals_per_hour=args.arrivals_per_hour,
         slack_quantum=args.slack_quantum,
+        **trace_kwargs,
     )
+    strategy = args.strategy or ("elastic" if args.elastic else "hourglass")
     config = HarnessConfig(
         trace=trace_config,
         window_s=args.window,
         capacity_per_window=args.capacity,
         queue_limit=args.queue_limit,
-        strategy=args.strategy,
+        strategy=strategy,
         execute=not args.plan_only,
         trace_days=args.trace_days,
         recurring_tenants=args.recurring_tenants,
@@ -142,6 +214,7 @@ def main(argv=None) -> int:
         frontend_min_workers=args.workers[0],
         frontend_max_workers=args.workers[1],
         time_scale=args.time_scale,
+        elastic=args.elastic,
     )
     metrics = MetricsRegistry()
     trace = generate_trace(trace_config)
@@ -180,6 +253,11 @@ def main(argv=None) -> int:
                 problems.append("autoscaler never scaled up")
             if report.pool_scale_downs == 0:
                 problems.append("autoscaler never scaled down")
+    if args.require_rescale:
+        if report.rescale_shrinks == 0:
+            problems.append("no planned shrink landed")
+        if report.missed > 0:
+            problems.append(f"{report.missed} executed runs missed their deadline")
     if problems:
         print(f"DEGENERATE RUN: {'; '.join(problems)}", file=sys.stderr)
         return 1

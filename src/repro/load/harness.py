@@ -37,6 +37,7 @@ from repro.core.recurring import InterleavedRecurringDriver, RecurringJobSpec
 from repro.core.simulator import ExecutionSimulator
 from repro.core.slack import SlackModel
 from repro.exec.events import RunResult
+from repro.exec.frontier import frontier_for_app
 from repro.experiments.common import ExperimentSetup
 from repro.load.admission import AdmissionController
 from repro.load.report import LoadReport, percentile
@@ -85,6 +86,17 @@ class _PhaseTotals:
     pool_scale_downs: int = 0
     dispatch_batches: int = 0
     dispatch_batch_max: int = 0
+    rescales: int = 0
+    rescale_shrinks: int = 0
+    rescale_seconds: float = 0.0
+
+    def fold_rescales(self, result: RunResult) -> None:
+        """Fold one run's planned-rescale counters into the totals."""
+        self.rescales += result.rescales
+        self.rescale_shrinks += sum(
+            1 for r in result.rescale_records if r.action == "shrink"
+        )
+        self.rescale_seconds += result.rescale_seconds
 
 
 @dataclass(frozen=True)
@@ -117,6 +129,12 @@ class HarnessConfig:
             frontend submissions (0 = no pacing, saturation mode).
             Pacing lets the pool see the trace's bursts and troughs as
             genuine load swings instead of one continuous flood.
+        elastic: run executions with the app's canonical frontier-decay
+            curve and a provisioner that supports planned mid-job
+            rescaling (pair with ``strategy="elastic"``); the report
+            gains the ``rescale_*`` section.  Off by default — the
+            disabled-mode fingerprint is byte-identical to pre-elastic
+            reports.
     """
 
     trace: LoadTraceConfig = field(default_factory=LoadTraceConfig)
@@ -132,6 +150,7 @@ class HarnessConfig:
     frontend_min_workers: int = 1
     frontend_max_workers: int = 4
     time_scale: float = 0.0
+    elastic: bool = False
 
     def __post_init__(self):
         if self.window_s <= 0:
@@ -208,6 +227,7 @@ class LoadHarness:
                 self.config.strategy,
                 record_events=False,
                 service=self.service,
+                frontier_curve=frontier_for_app(app) if self.config.elastic else None,
             )
         return sim
 
@@ -279,6 +299,7 @@ class LoadHarness:
             for result in outcome.results:
                 billed = result.spot_seconds + result.on_demand_seconds
                 totals.user_cost += result.cost
+                totals.fold_rescales(result)
                 # Scheduled release (deadline - period) anchors service
                 # time, so an overrun-delayed run is charged its wait.
                 totals.service_time += result.finish_time - (
@@ -331,6 +352,10 @@ class LoadHarness:
             provider_idle_machine_s=totals.provider_idle,
             user_cost_dollars=totals.user_cost,
             service_time_s=totals.service_time,
+            elastic=cfg.elastic,
+            rescales=totals.rescales,
+            rescale_shrinks=totals.rescale_shrinks,
+            rescale_seconds=totals.rescale_seconds,
             frontend=cfg.frontend,
             coalesce_hits=totals.coalesce_hits,
             pool_size_peak=totals.pool_size_peak,
@@ -519,6 +544,7 @@ class LoadHarness:
         result = self._execute(job, release)
         totals.executed += 1
         totals.missed += result.missed_deadline
+        totals.fold_rescales(result)
         idle, dollars, span = self._granny_costs(job, result)
         totals.provider_idle += idle
         totals.user_cost += dollars
@@ -622,6 +648,16 @@ class LoadHarness:
         mx.gauge("load_queue_peak", "Admission backlog high-water mark").set(
             report.queue_peak
         )
+        if report.elastic:
+            resc = mx.counter(
+                "load_rescales_total", "Planned mid-job rescales across executed runs"
+            )
+            resc.inc(report.rescale_shrinks, action="shrink")
+            resc.inc(report.rescales - report.rescale_shrinks, action="other")
+            mx.counter(
+                "load_rescale_seconds_total",
+                "Simulated reload seconds paid for planned rescales",
+            ).inc(report.rescale_seconds)
 
 
 def run_load(config: HarnessConfig, metrics=None) -> LoadReport:

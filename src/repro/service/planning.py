@@ -121,6 +121,49 @@ class PlanRequest:
 
 
 @dataclass(frozen=True)
+class RescaleQuery:
+    """One elasticity question: is a planned move cheaper than staying?
+
+    Asked at checkpoint boundaries by the lifecycle's
+    :class:`~repro.exec.rescale.RescalePolicy` hook.  The answer reuses
+    the same slack-space DP and warm keyed estimator as
+    :class:`PlanRequest` — the "stay" arm is the current configuration
+    with its setup already paid (``running=True``), every other
+    candidate is charged its full move cost by the DP, so the comparison
+    is net of the reconfiguration.
+
+    Attributes:
+        slack_model: the job's deadline/performance binding.
+        catalog: candidate configurations (validated at admission).
+        t: decision time (the checkpoint boundary).
+        work_left: reported work fraction — frontier-tightened under
+            time accounting, which is what makes shrinking discoverable.
+        current_config: the running configuration (required: rescaling
+            is only defined for a live deployment).
+        current_uptime: how long the current deployment has been up.
+        frontier: measured active-vertex fraction at the decision.
+        min_saving_fraction: hysteresis — move only when the expected
+            saving exceeds this fraction of the stay cost (guards
+            against churn on grid-cell noise).  A stay cost of infinity
+            (the deadline is at risk on the current configuration)
+            always moves regardless.
+        slack_grid / work_grid: memo granularity override (pin these to
+            the job's planning grids so both queries share warm memo).
+    """
+
+    slack_model: SlackModel
+    catalog: tuple[Configuration, ...]
+    t: float
+    work_left: float
+    current_config: Configuration
+    current_uptime: float = 0.0
+    frontier: float = 1.0
+    min_saving_fraction: float = 0.05
+    slack_grid: float | None = None
+    work_grid: float | None = None
+
+
+@dataclass(frozen=True)
 class PlanTelemetry:
     """What one decision cost the service.
 
@@ -244,6 +287,7 @@ class PlanningService:
         # a rare duplicate recompute is deterministic and harmless.
         self._fingerprints: dict[tuple, tuple] = {}
         self._plans = 0
+        self._rescale_queries = 0
         self._batches = 0
         self._estimators_built = 0
         self._snapshot_hits = 0
@@ -552,6 +596,102 @@ class PlanningService:
             ),
         )
 
+    def plan_rescale(self, query: RescaleQuery):
+        """Answer one :class:`RescaleQuery` with the slack-space DP.
+
+        Computes the expected cost of *staying* on the current
+        configuration (setup already paid) and the catalogue-wide
+        minimum via :meth:`~repro.core.expected_cost._ApproximateBase.best_at_slack`
+        — both against the same warm keyed estimator a
+        :class:`PlanRequest` for this job would hit, under one lock
+        acquisition.  Returns a
+        :class:`~repro.exec.rescale.RescaleDecision` when moving is
+        worth it (expected saving above the hysteresis threshold, or the
+        current configuration can no longer meet the deadline at all),
+        else None.  A candidate that would miss the deadline costs
+        infinity in the DP, so it can never be returned as a target.
+
+        Raises:
+            PlanError: admission failure or no current configuration.
+        """
+        from repro.exec.rescale import RescaleDecision, rescale_action
+
+        catalog = self.admit(query.catalog)
+        if query.current_config is None:
+            raise PlanError("rescale query requires a running configuration")
+        started = time.perf_counter()
+        with self._mutex:
+            self._rescale_queries += 1
+        grids = self.resolved_grids(
+            query.slack_model,
+            query.t,
+            query.work_left,
+            query.slack_grid,
+            query.work_grid,
+        )
+        key = self._estimator_key(catalog, query.slack_model, grids)
+        entry, _warm = self._entry_for(key, catalog, query.slack_model, grids)
+        rates, _reused = self._rates_for(catalog, query.t)
+        slack = query.slack_model.slack(query.t, query.work_left)
+        with entry.lock:
+            stay = entry.estimator.cost_at_slack(
+                query.current_config,
+                slack,
+                query.t,
+                query.work_left,
+                running=True,
+                rates=rates,
+            )
+            winner = entry.estimator.best_at_slack(
+                slack,
+                query.t,
+                query.work_left,
+                query.current_config,
+                query.current_uptime,
+                rates=rates,
+            )
+        decision = None
+        if winner.config != query.current_config and math.isfinite(
+            winner.expected_cost
+        ):
+            saving = stay - winner.expected_cost
+            forced = math.isinf(stay)
+            if forced or saving > query.min_saving_fraction * stay:
+                decision = RescaleDecision(
+                    target=winner.config,
+                    action=rescale_action(query.current_config, winner.config),
+                    stay_cost=stay,
+                    target_cost=winner.expected_cost,
+                    frontier=query.frontier,
+                    evaluated_at=query.t,
+                    reason=(
+                        "stay cannot meet the deadline"
+                        if forced
+                        else f"expected saving {saving:.4f} over stay {stay:.4f}"
+                    ),
+                )
+        tr = self.tracer if self.tracer is not None else get_tracer()
+        if tr.enabled:
+            latency = time.perf_counter() - started
+            tr.record_span(
+                "rescale.plan",
+                query.t,
+                query.t + latency,
+                config=query.current_config.name,
+                target=decision.target.name if decision else "-",
+                action=decision.action if decision else "stay",
+                frontier=query.frontier,
+                stay_cost=stay,
+                best_cost=winner.expected_cost,
+                latency_s=latency,
+            )
+            mx = self.metrics if self.metrics is not None else get_metrics()
+            mx.counter(
+                "rescale_decisions_total",
+                "Rescale queries answered by the planning service",
+            ).inc(action=decision.action if decision else "stay")
+        return decision
+
     def _plan_baseline(
         self, request: PlanRequest, catalog: tuple[Configuration, ...], started: float
     ) -> PlanResult:
@@ -742,6 +882,7 @@ class PlanningService:
         with self._mutex:
             return {
                 "plans": self._plans,
+                "rescale_queries": self._rescale_queries,
                 "batches": self._batches,
                 "estimators": len(self._entries),
                 "estimators_built": self._estimators_built,

@@ -25,6 +25,7 @@ from repro.core.baselines import (
 )
 from repro.core.expected_cost import Decision
 from repro.core.provisioner import Provisioner, ProvisioningContext
+from repro.exec.rescale import RescaleContext, RescaleDecision, RescalePolicy
 
 if TYPE_CHECKING:
     from repro.service.planning import PlanningService, PlanTelemetry
@@ -95,10 +96,127 @@ class ServicePlannedProvisioner(Provisioner):
         return ctx.slack - ctx.slack_model.perf.save_time(config)
 
 
+class PlannedRescalePolicy(RescalePolicy):
+    """Service-backed rescale policy: the §5.3 DP answers move-vs-stay.
+
+    At every persisted checkpoint the lifecycle hands this policy a
+    :class:`~repro.exec.rescale.RescaleContext`; the policy turns it
+    into a :class:`~repro.service.planning.RescaleQuery` against the
+    shared :class:`PlanningService`, pinning the same memo grids the
+    job's planning session uses so both query paths share warm memo.
+
+    Args:
+        service: the planning service answering the queries.
+        min_saving_fraction: hysteresis — move only when the expected
+            saving exceeds this fraction of the stay cost.
+        cooldown_s: minimum simulated seconds between planned moves
+            (0 = rely on hysteresis alone; the DP already charges every
+            move its full setup cost).
+        min_work_left: skip evaluation when the reported work fraction
+            is below this — a tail too short to repay any move.
+    """
+
+    def __init__(
+        self,
+        service: PlanningService,
+        min_saving_fraction: float = 0.05,
+        cooldown_s: float = 0.0,
+        min_work_left: float = 0.01,
+    ):
+        self.service = service
+        self.min_saving_fraction = min_saving_fraction
+        self.cooldown_s = cooldown_s
+        self.min_work_left = min_work_left
+        self._grids: tuple[float, float] | None = None
+        self._last_move_t: float | None = None
+
+    def pin_grids(self, grids: tuple[float, float] | None) -> None:
+        """Share the job session's memo grids with rescale queries."""
+        self._grids = grids
+
+    def reset(self) -> None:
+        """Clear per-job state (grids re-pin at the next session)."""
+        self._grids = None
+        self._last_move_t = None
+
+    def evaluate(self, ctx: RescaleContext) -> RescaleDecision | None:
+        """Ask the service whether a planned move beats staying."""
+        from repro.service.planning import RescaleQuery
+
+        if ctx.work_left <= self.min_work_left:
+            return None
+        if (
+            self._last_move_t is not None
+            and ctx.t - self._last_move_t < self.cooldown_s
+        ):
+            return None
+        grids = self._grids or (None, None)
+        decision = self.service.plan_rescale(
+            RescaleQuery(
+                slack_model=ctx.slack_model,
+                catalog=tuple(ctx.catalog),
+                t=ctx.t,
+                work_left=ctx.work_left,
+                current_config=ctx.config,
+                current_uptime=ctx.uptime,
+                frontier=ctx.frontier,
+                min_saving_fraction=self.min_saving_fraction,
+                slack_grid=grids[0],
+                work_grid=grids[1],
+            )
+        )
+        if decision is not None:
+            self._last_move_t = ctx.t
+        return decision
+
+
+class ElasticPlannedProvisioner(ServicePlannedProvisioner):
+    """Hourglass planning plus frontier-driven mid-job elasticity.
+
+    Two deliberate differences from the base strategy:
+
+    * ``select`` is *sticky*: while a deployment is live it is kept, so
+      every voluntary reconfiguration routes through the
+      :class:`PlannedRescalePolicy` at checkpoint boundaries — moves
+      carry hysteresis, are counted as rescales, and pay an explicit
+      accounted switch cost.  (The base strategy re-plans every decision
+      point and silently redeploys whenever the argmin flips.)  Deadline
+      safety is unchanged: the segment limit still forces a decision
+      point at slack zero, where the deployment is gone and the service
+      plans fresh — the last-resort handover works exactly as before.
+    * It owns a ``rescale_policy`` the lifecycle discovers (simulator
+      and runtime pass it through), with the job session's memo grids
+      shared between planning and rescale queries.
+    """
+
+    name = "elastic"
+
+    def __init__(self, service: PlanningService, min_saving_fraction: float = 0.05):
+        super().__init__(service)
+        self.rescale_policy = PlannedRescalePolicy(
+            service, min_saving_fraction=min_saving_fraction
+        )
+
+    def reset(self) -> None:
+        """End the job session for planning and rescaling alike."""
+        super().reset()
+        self.rescale_policy.reset()
+
+    def select(self, ctx: ProvisioningContext) -> Configuration:
+        """Keep a live deployment; plan fresh only when there is none."""
+        if ctx.current_config is not None:
+            self.last_telemetry = None
+            return ctx.current_config
+        choice = super().select(ctx)
+        self.rescale_policy.pin_grids(self._grids)
+        return choice
+
+
 #: Strategy key -> factory(service).  Mirrors the experiment registry's
 #: names so figure grids resolve through the service unchanged.
 SERVICE_STRATEGIES: dict[str, Callable[..., Provisioner]] = {
     "hourglass": ServicePlannedProvisioner,
+    "elastic": ElasticPlannedProvisioner,
     "proteus": lambda service: ProteusProvisioner(),
     "spoton": lambda service: SpotOnProvisioner(),
     "proteus+dp": lambda service: DeadlineProtected(ProteusProvisioner()),

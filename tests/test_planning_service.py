@@ -76,9 +76,11 @@ class TestAdmission:
             )
 
     def test_known_strategies_match_registry(self, setup):
-        assert set(PlanningService(setup.market).strategies()) == set(
-            strategy_registry()
-        )
+        # The service mirrors the figure-harness registry, plus the
+        # service-only "elastic" strategy (its rescale vetting needs
+        # plan_rescale, so it cannot exist without a service).
+        known = set(PlanningService(setup.market).strategies())
+        assert known == set(strategy_registry()) | {"elastic"}
 
 
 class TestSingleDecisionEquivalence:
