@@ -8,7 +8,11 @@ from repro.engine.aggregators import (
     OrAggregator,
     SumAggregator,
 )
-from repro.engine.checkpoint import CheckpointInfo, CheckpointManager
+from repro.engine.checkpoint import (
+    CheckpointCorruptionError,
+    CheckpointInfo,
+    CheckpointManager,
+)
 from repro.engine.datastore import DataStore, TransferStats
 from repro.engine.engine import ExecutionResult, PregelEngine, SuperstepStats
 from repro.engine.loader import (
@@ -30,12 +34,14 @@ from repro.engine.messages import (
     MinCombiner,
     SumCombiner,
 )
+from repro.engine.parallel import ParallelPregelEngine, parallel_execution_supported
 from repro.engine.vertex import ComputeContext, DenseComputeContext, VertexProgram
 from repro.engine.worker import Worker, build_workers
 
 __all__ = [
     "Aggregator",
     "AndAggregator",
+    "CheckpointCorruptionError",
     "CheckpointInfo",
     "CheckpointManager",
     "ClusterTimingModel",
@@ -56,6 +62,8 @@ __all__ = [
     "MinAggregator",
     "MinCombiner",
     "OrAggregator",
+    "ParallelPregelEngine",
+    "parallel_execution_supported",
     "PregelEngine",
     "StreamLoader",
     "SumAggregator",

@@ -65,8 +65,14 @@ class SSSP(VertexProgram):
         improved = ctx.active & (best < values)
         values[improved] = best[improved]
         senders = improved
-        if ctx.superstep == 0 and self.source < ctx.num_vertices:
+        if (
+            ctx.superstep == 0
+            and self.source < ctx.num_vertices
+            and ctx.active[self.source]
+        ):
             # The source relaxes its edges even though 0.0 < 0.0 is false.
+            # Gated on the active mask so that, under partition-restricted
+            # parallel execution, only the worker owning the source sends.
             senders = improved.copy()
             senders[self.source] = True
         edge_keep = senders[ctx.edge_sources]

@@ -5,19 +5,75 @@ the cluster filesystem) so a *full* deployment loss — the normal case
 when a whole spot configuration is evicted — can still be recovered
 (§7).  Checkpoints carry the superstep counter, all vertex values and
 halted flags, pending messages and aggregator state.
+
+Three payload formats are readable:
+
+* **format 1** (legacy) — per-worker ``{vertex: value}`` dicts;
+* **format 2** — the engine's dense state arrays pickled directly;
+* **format 3** (current) — a compressed envelope.  A ``full`` envelope
+  carries the whole format-2 state, pickled and compressed (zlib by
+  default; zstd when the optional ``zstandard`` module is installed).
+  A ``delta`` envelope carries only the vertices whose value changed
+  since the last *full* snapshot (a packed changed-vertex mask plus the
+  changed values), the packed halted flags, and the pending messages —
+  restore composes ``full + delta``.  Long-running jobs with shrinking
+  frontiers (SSSP, WCC) checkpoint sublinearly in supersteps: the
+  datastore byte counters track the frontier, not the graph.
+
+Every format-3 envelope carries a CRC of its compressed payload; a
+corrupted or unreadable checkpoint makes :meth:`CheckpointManager.load_into`
+fall back to the most recent restorable snapshot (ultimately the last
+full one) instead of failing the recovery.
 """
 
 from __future__ import annotations
 
+import pickle
+import zlib
 from dataclasses import dataclass
+
+import numpy as np
 
 from repro.engine.datastore import DataStore
 from repro.engine.engine import PregelEngine
 from repro.obs.state import get_metrics, get_tracer
 
-#: Current checkpoint payload format: the engine's dense state arrays
-#: (values, halted, pending-message arrays, stats) pickled directly.
-CHECKPOINT_FORMAT = 2
+try:  # optional: not part of the baked-in toolchain
+    import zstandard as _zstandard
+except ImportError:  # pragma: no cover - exercised where zstd is absent
+    _zstandard = None
+
+#: Current checkpoint payload format: a compressed (and optionally
+#: delta-encoded) envelope around the engine's dense state arrays.
+CHECKPOINT_FORMAT = 3
+
+
+class CheckpointCorruptionError(RuntimeError):
+    """A stored checkpoint failed its integrity check or cannot be read."""
+
+
+def _resolve_codec(codec: str | None) -> str | None:
+    if codec not in (None, "zlib", "zstd"):
+        raise ValueError(f"codec must be None, 'zlib' or 'zstd', got {codec!r}")
+    if codec == "zstd" and _zstandard is None:
+        return "zlib"  # graceful degradation when zstandard is not installed
+    return codec
+
+
+def _compress(codec: str, blob: bytes) -> bytes:
+    if codec == "zstd":
+        return _zstandard.ZstdCompressor().compress(blob)
+    return zlib.compress(blob, 1)
+
+
+def _decompress(codec: str, blob: bytes) -> bytes:
+    if codec == "zstd":
+        if _zstandard is None:
+            raise CheckpointCorruptionError(
+                "checkpoint was written with zstd but zstandard is not installed"
+            )
+        return _zstandard.ZstdDecompressor().decompress(blob)
+    return zlib.decompress(blob)
 
 
 @dataclass(frozen=True)
@@ -28,6 +84,8 @@ class CheckpointInfo:
     superstep: int
     nbytes: int
     simulated_write_seconds: float
+    kind: str = "full"  # "full" | "delta"
+    base_key: str | None = None  # the full snapshot a delta composes with
 
 
 class CheckpointManager:
@@ -36,20 +94,50 @@ class CheckpointManager:
     Args:
         datastore: the external store.
         job_id: namespace for this job's checkpoints.
-        keep_last: older checkpoints beyond this count are deleted.
+        keep_last: older checkpoints beyond this count are deleted
+            (full snapshots that retained deltas compose with are kept
+            regardless).
+        delta: write delta checkpoints between full snapshots (changed
+            vertices only, against the last full snapshot).
+        full_interval: with ``delta``, force a full snapshot after this
+            many consecutive deltas.
+        codec: ``"zlib"`` (default), ``"zstd"`` (falls back to zlib when
+            unavailable) or ``None`` for uncompressed legacy format-2
+            payloads (which also disables delta encoding).
     """
 
-    def __init__(self, datastore: DataStore, job_id: str, keep_last: int = 2):
+    def __init__(
+        self,
+        datastore: DataStore,
+        job_id: str,
+        keep_last: int = 2,
+        *,
+        delta: bool = False,
+        full_interval: int = 4,
+        codec: str | None = "zlib",
+    ):
         if keep_last < 1:
             raise ValueError("keep_last must be >= 1")
+        if full_interval < 1:
+            raise ValueError("full_interval must be >= 1")
         self.datastore = datastore
         self.job_id = job_id
         self.keep_last = keep_last
+        self.codec = _resolve_codec(codec)
+        self.delta = bool(delta) and self.codec is not None
+        self.full_interval = full_interval
         self._history: list[CheckpointInfo] = []
+        self._full_state: dict | None = None  # values/halted of last full save
+        self._full_info: CheckpointInfo | None = None
+        self._full_nbytes = 0
+        self._deltas_since_full = 0
 
     def _key(self, superstep: int) -> str:
         return f"checkpoints/{self.job_id}/superstep-{superstep:08d}"
 
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
     def save(self, engine: PregelEngine, num_writers: int = 1) -> CheckpointInfo:
         """Persist the engine's state; returns checkpoint metadata.
 
@@ -58,7 +146,27 @@ class CheckpointManager:
         """
         state = engine.capture_state()
         key = self._key(engine.superstep)
-        self.datastore.put_object(key, state)
+        kind, base_key = "full", None
+        if self.codec is None:
+            self.datastore.put_object(key, state)  # legacy format-2 write
+        else:
+            payload = state
+            if self._delta_possible(state):
+                kind = "delta"
+                base_key = self._full_info.key
+                payload = self._delta_payload(state)
+            blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+            compressed = _compress(self.codec, blob)
+            envelope = {
+                "format": 3,
+                "kind": kind,
+                "codec": self.codec,
+                "base_key": base_key,
+                "superstep": state["superstep"],
+                "crc32": zlib.crc32(compressed),
+                "payload": compressed,
+            }
+            self.datastore.put_object(key, envelope)
         nbytes = self.datastore.size_of(key)
         write_time = self.datastore.transfer_time(nbytes, num_writers)
         info = CheckpointInfo(
@@ -66,7 +174,16 @@ class CheckpointManager:
             superstep=engine.superstep,
             nbytes=nbytes,
             simulated_write_seconds=write_time,
+            kind=kind,
+            base_key=base_key,
         )
+        if kind == "full":
+            self._full_state = {"values": state["values"], "halted": state["halted"]}
+            self._full_info = info
+            self._full_nbytes = nbytes
+            self._deltas_since_full = 0
+        else:
+            self._deltas_since_full += 1
         tracer = get_tracer()
         if tracer.enabled:
             tracer.event(
@@ -74,18 +191,56 @@ class CheckpointManager:
                 superstep=engine.superstep,
                 nbytes=nbytes,
                 sim_seconds=write_time,
+                kind=kind,
             )
             metrics = get_metrics()
             metrics.counter(
                 "checkpoint_writes_total", "Engine checkpoints persisted"
-            ).inc(1, job_id=self.job_id)
+            ).inc(1, job_id=self.job_id, kind=kind)
             metrics.histogram(
                 "checkpoint_bytes", "Serialized size of one engine checkpoint"
             ).observe(nbytes, job_id=self.job_id)
+            if kind == "delta":
+                metrics.histogram(
+                    "checkpoint_delta_ratio",
+                    "Delta checkpoint bytes relative to the last full snapshot",
+                ).observe(nbytes / max(1, self._full_nbytes), job_id=self.job_id)
         self._history.append(info)
         self._prune()
         return info
 
+    def _delta_possible(self, state: dict) -> bool:
+        return (
+            self.delta
+            and self._full_state is not None
+            and self._full_info is not None
+            and self._deltas_since_full < self.full_interval
+            and len(self._full_state["values"]) == len(state["values"])
+        )
+
+    def _delta_payload(self, state: dict) -> dict:
+        """Changed vertices against the last full snapshot, packed."""
+        base = self._full_state
+        values = state["values"]
+        # NaN compares unequal to itself -> conservatively "changed".
+        changed = values != base["values"]
+        base_superstep = self._full_info.superstep
+        return {
+            "kind": "delta",
+            "num_vertices": int(state["num_vertices"]),
+            "superstep": int(state["superstep"]),
+            "base_superstep": int(base_superstep),
+            "changed_bits": np.packbits(changed),
+            "changed_values": values[changed],
+            "halted_bits": np.packbits(state["halted"]),
+            "pending_messages": state["pending_messages"],
+            "prev_aggregates": state["prev_aggregates"],
+            "stats_tail": state["stats"][base_superstep:],
+        }
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
     def latest(self) -> CheckpointInfo | None:
         """Most recent checkpoint, or None when none exist."""
         return self._history[-1] if self._history else None
@@ -95,13 +250,62 @@ class CheckpointManager:
 
         The engine may have a different worker layout than the one that
         wrote the checkpoint (reconfiguration after eviction) — state is
-        re-scattered to the new owners.
+        re-scattered to the new owners.  With ``info=None`` the newest
+        restorable checkpoint wins: a corrupted delta (bad CRC, missing
+        base, undecodable payload) makes the restore fall back through
+        the history to the most recent intact snapshot.
         """
-        if info is None:
-            info = self.latest()
-        if info is None:
+        if info is not None:
+            return self._restore_one(engine, info)
+        if not self._history:
             raise LookupError(f"no checkpoints stored for job {self.job_id!r}")
-        state, read_time = self.datastore.get_object_timed(info.key)
+        failure: CheckpointCorruptionError | None = None
+        for candidate in reversed(self._history):
+            try:
+                read_time = self._restore_one(engine, candidate)
+            except CheckpointCorruptionError as exc:
+                failure = exc
+                tracer = get_tracer()
+                if tracer.enabled:
+                    tracer.event(
+                        "checkpoint.fallback",
+                        superstep=candidate.superstep,
+                        kind=candidate.kind,
+                        reason=str(exc),
+                    )
+                    get_metrics().counter(
+                        "checkpoint_fallbacks_total",
+                        "Corrupted checkpoints skipped during restore",
+                    ).inc(1, job_id=self.job_id)
+                continue
+            return read_time
+        raise CheckpointCorruptionError(
+            f"no restorable checkpoint for job {self.job_id!r}: {failure}"
+        )
+
+    def _restore_one(self, engine: PregelEngine, info: CheckpointInfo) -> float:
+        stored, read_time = self._fetch(info.key)
+        state = stored
+        if isinstance(stored, dict) and stored.get("format") == 3:
+            payload = self._decode_envelope(info.key, stored)
+            if stored["kind"] == "delta":
+                base_key = stored.get("base_key")
+                if base_key is None:
+                    raise CheckpointCorruptionError(
+                        f"delta checkpoint {info.key} has no base snapshot"
+                    )
+                base_stored, base_read = self._fetch(base_key)
+                read_time += base_read
+                if not (
+                    isinstance(base_stored, dict) and base_stored.get("format") == 3
+                ):
+                    raise CheckpointCorruptionError(
+                        f"base snapshot {base_key} is not a format-3 envelope"
+                    )
+                base_state = self._decode_envelope(base_key, base_stored)
+                state = self._compose(base_state, payload)
+            else:
+                state = payload
         engine.restore_state(state)
         tracer = get_tracer()
         if tracer.enabled:
@@ -110,17 +314,76 @@ class CheckpointManager:
                 superstep=info.superstep,
                 nbytes=info.nbytes,
                 sim_seconds=read_time,
+                kind=info.kind,
             )
             get_metrics().counter(
                 "checkpoint_restores_total", "Engine checkpoint restores"
             ).inc(1, job_id=self.job_id)
         return read_time
 
+    def _fetch(self, key: str) -> tuple[object, float]:
+        try:
+            return self.datastore.get_object_timed(key)
+        except KeyError as exc:
+            raise CheckpointCorruptionError(f"checkpoint {key} is missing") from exc
+        except Exception as exc:  # undecodable pickle, truncated blob, ...
+            raise CheckpointCorruptionError(f"checkpoint {key} unreadable: {exc}") from exc
+
+    def _decode_envelope(self, key: str, envelope: dict) -> dict:
+        compressed = envelope["payload"]
+        if zlib.crc32(compressed) != envelope["crc32"]:
+            raise CheckpointCorruptionError(f"checkpoint {key} failed its CRC check")
+        try:
+            blob = _decompress(envelope["codec"], compressed)
+            return pickle.loads(blob)
+        except CheckpointCorruptionError:
+            raise
+        except Exception as exc:
+            raise CheckpointCorruptionError(f"checkpoint {key} undecodable: {exc}") from exc
+
+    @staticmethod
+    def _compose(base: dict, delta: dict) -> dict:
+        """Apply a delta payload on top of its full base state."""
+        n = delta["num_vertices"]
+        values = np.array(base["values"], copy=True)
+        if len(values) != n:
+            raise CheckpointCorruptionError(
+                f"delta covers {n} vertices, base snapshot has {len(values)}"
+            )
+        changed = np.unpackbits(delta["changed_bits"], count=n).astype(bool)
+        values[changed] = delta["changed_values"]
+        halted = np.unpackbits(delta["halted_bits"], count=n).astype(bool)
+        base_superstep = delta["base_superstep"]
+        return {
+            "format": 2,
+            "superstep": delta["superstep"],
+            "num_vertices": n,
+            "values": values,
+            "halted": halted,
+            "pending_messages": delta["pending_messages"],
+            "prev_aggregates": delta["prev_aggregates"],
+            "stats": list(base["stats"])[:base_superstep] + list(delta["stats_tail"]),
+        }
+
     def history(self) -> list[CheckpointInfo]:
         """All stored checkpoint metadata, oldest first."""
         return list(self._history)
 
     def _prune(self) -> None:
-        while len(self._history) > self.keep_last:
-            stale = self._history.pop(0)
-            self.datastore.delete(stale.key)
+        """Delete checkpoints beyond ``keep_last``, chain-aware.
+
+        A full snapshot referenced by a retained delta stays until every
+        delta composing with it has itself rotated out.
+        """
+        if len(self._history) <= self.keep_last:
+            return
+        retained = self._history[-self.keep_last :]
+        needed = {info.key for info in retained}
+        needed.update(info.base_key for info in retained if info.base_key)
+        kept = []
+        for info in self._history[: -self.keep_last]:
+            if info.key in needed:
+                kept.append(info)
+            else:
+                self.datastore.delete(info.key)
+        self._history = kept + retained

@@ -29,6 +29,7 @@ import numpy as np
 
 from repro.engine.datastore import DataStore
 from repro.graph.graph import Graph
+from repro.graph.io import csr_nbytes, is_memmap_backed
 from repro.partitioning.base import Partitioning
 from repro.partitioning.hashing import HashPartitioner
 from repro.partitioning.micro import MicroPartitioning
@@ -98,6 +99,15 @@ class LoadTimingModel:
         w = num_workers
         binary = self.binary_bytes(num_edges, num_vertices)
         return self.fixed_overhead + binary / (w * self.read_bandwidth)
+
+    def micro_time_bytes(self, nbytes: float, num_workers: int) -> float:
+        """Parallel binary read of an on-disk CSR of *known* byte size.
+
+        Used for memory-mapped CSR stores, where the true footprint is
+        available instead of the per-edge estimate.
+        """
+        self._check(num_workers)
+        return self.fixed_overhead + nbytes / (num_workers * self.read_bandwidth)
 
     def estimate(self, strategy: str, num_edges: int, num_vertices: int, num_workers: int) -> float:
         """Dispatch by strategy name ('stream' | 'hash' | 'micro')."""
@@ -201,12 +211,21 @@ class MicroLoader:
         self, graph: Graph, num_workers: int, seed=None,
         size_override: tuple[int, int] | None = None,
     ) -> LoadResult:
-        """Load *graph* for *num_workers* machines (see class docstring)."""
+        """Load *graph* for *num_workers* machines (see class docstring).
+
+        A memory-mapped CSR graph (``repro.graph.io.load_csr``) is never
+        materialized here — clustering works on the micro-partition
+        quotient graph — and is priced by its true on-disk footprint.
+        """
         partitioning = self.artefact.cluster(num_workers, seed=seed)
-        e, n = size_override or (graph.num_edges, graph.num_vertices)
+        if size_override is None and is_memmap_backed(graph.indices):
+            simulated = self.timing.micro_time_bytes(csr_nbytes(graph), num_workers)
+        else:
+            e, n = size_override or (graph.num_edges, graph.num_vertices)
+            simulated = self.timing.micro_time(e, n, num_workers)
         return LoadResult(
             partitioning=partitioning,
-            simulated_seconds=self.timing.micro_time(e, n, num_workers),
+            simulated_seconds=simulated,
             strategy=self.name,
             num_workers=num_workers,
         )

@@ -228,6 +228,28 @@ class MessageStore:
             identity = self._combiner.identity if self._combiner else 0.0
             values = np.full(num_vertices, identity or 0.0, dtype=np.float64)
             mask = np.zeros(num_vertices, dtype=bool)
+        self._fold_generic_into(values, mask)
+        return values, mask
+
+    def dense_view_into(
+        self, num_vertices: int, values_out: np.ndarray, mask_out: np.ndarray
+    ) -> None:
+        """:meth:`dense_view` written into caller-provided arrays.
+
+        Allocation-free variant used by the parallel backend to refill
+        its shared-memory inbox arrays in place every superstep.
+        """
+        if self._dense_values is not None:
+            values_out[...] = self._dense_values
+            mask_out[...] = self._dense_mask
+        else:
+            identity = self._combiner.identity if self._combiner else 0.0
+            values_out[...] = identity or 0.0
+            mask_out[...] = False
+        self._fold_generic_into(values_out, mask_out)
+
+    def _fold_generic_into(self, values: np.ndarray, mask: np.ndarray) -> None:
+        """Fold the generic per-destination buckets into a dense view."""
         for dst, bucket in self._by_dst.items():
             if not bucket:
                 continue
@@ -246,7 +268,6 @@ class MessageStore:
                 folded = self._combiner.combine(values[dst].item(), folded)
             values[dst] = folded
             mask[dst] = True
-        return values, mask
 
     def __len__(self) -> int:
         """Number of *stored* messages (post-combining)."""

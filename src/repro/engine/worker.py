@@ -70,9 +70,21 @@ class Worker:
         if halted is None:
             halted = np.zeros(num_vertices_total, dtype=bool)
         self.attach(values, halted)
-        for v in self.vertices.tolist():
-            values[v] = program.initial_value(v, num_vertices_total)
-            halted[v] = not program.is_active_initially(v)
+        own = self.vertices
+        init = program.initial_values(num_vertices_total)
+        if init is not None:
+            values[own] = np.asarray(init)[own]
+        else:
+            values[own] = np.fromiter(
+                (program.initial_value(int(v), num_vertices_total) for v in own),
+                dtype=values.dtype,
+                count=len(own),
+            )
+        halted[own] = np.fromiter(
+            (not program.is_active_initially(int(v)) for v in own),
+            dtype=bool,
+            count=len(own),
+        )
         tracer = get_tracer()
         if tracer.enabled:
             tracer.event(
@@ -84,21 +96,26 @@ class Worker:
         own = self.vertices
         runnable = ~self.halted[own]
         if incoming_destinations:
-            woken = np.fromiter(
-                (int(v) in incoming_destinations for v in own),
-                dtype=bool,
-                count=len(own),
+            dests = np.fromiter(
+                incoming_destinations,
+                dtype=np.int64,
+                count=len(incoming_destinations),
             )
-            runnable |= woken
+            runnable |= np.isin(own, dests)
         return int(np.count_nonzero(runnable))
 
     def state_snapshot(self) -> dict:
-        """Checkpointable copy of this worker's mutable state."""
-        own = self.vertices.tolist()
+        """Checkpointable copy of this worker's mutable state.
+
+        Built by slicing the dense arrays (one gather per array) rather
+        than materializing the values vertex-by-vertex.
+        """
+        own = self.vertices
+        ids = own.tolist()
         return {
             "worker_id": self.worker_id,
-            "values": {v: self.values[v] for v in own},
-            "halted": {v: bool(self.halted[v]) for v in own},
+            "values": dict(zip(ids, self.values[own].tolist())),
+            "halted": dict(zip(ids, self.halted[own].tolist())),
         }
 
     def restore_state(self, snapshot: dict) -> None:

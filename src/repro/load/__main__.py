@@ -23,6 +23,12 @@ frontier); ``--require-rescale`` makes the run degenerate unless at
 least one planned shrink landed and no executed run missed its deadline
 (the CI elastic-smoke gate).
 
+``--engine-mode parallel`` adds a real-engine exercise to the run: one
+Pregel job executed through both the serial and the shared-memory
+multiprocess engine, with the bit-identity of their results recorded in
+the report (and enforced — divergence makes the run degenerate).  Serial
+mode leaves the report fingerprint byte-identical to earlier releases.
+
 ``--out DIR`` additionally writes ``report.txt``, the arrival trace as
 ``trace.jsonl`` (replayable via :meth:`ArrivalTrace.from_jsonl`) and the
 ``load_*`` metrics in Prometheus text format as ``metrics.prom``.
@@ -178,6 +184,14 @@ def build_parser() -> argparse.ArgumentParser:
         "no executed run missed its deadline",
     )
     parser.add_argument(
+        "--engine-mode",
+        choices=("serial", "parallel"),
+        default="serial",
+        help="Pregel engine execution mode; 'parallel' also runs a "
+        "serial-vs-parallel bit-identity spot check on a real engine job "
+        "(the report fingerprint is unchanged in serial mode)",
+    )
+    parser.add_argument(
         "--out", type=Path, default=None, help="artifact directory (report/trace/metrics)"
     )
     return parser
@@ -215,6 +229,7 @@ def main(argv=None) -> int:
         frontend_max_workers=args.workers[1],
         time_scale=args.time_scale,
         elastic=args.elastic,
+        engine_mode=args.engine_mode,
     )
     metrics = MetricsRegistry()
     trace = generate_trace(trace_config)
@@ -253,6 +268,8 @@ def main(argv=None) -> int:
                 problems.append("autoscaler never scaled up")
             if report.pool_scale_downs == 0:
                 problems.append("autoscaler never scaled down")
+    if args.engine_mode == "parallel" and not report.engine_parallel_match:
+        problems.append("serial and parallel engine results diverged")
     if args.require_rescale:
         if report.rescale_shrinks == 0:
             problems.append("no planned shrink landed")

@@ -32,6 +32,8 @@ import math
 import time
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.core.job import PAPER_PROFILES, JobSpec
 from repro.core.recurring import InterleavedRecurringDriver, RecurringJobSpec
 from repro.core.simulator import ExecutionSimulator
@@ -135,6 +137,11 @@ class HarnessConfig:
             gains the ``rescale_*`` section.  Off by default — the
             disabled-mode fingerprint is byte-identical to pre-elastic
             reports.
+        engine_mode: ``"serial"`` (default) or ``"parallel"``.  Parallel
+            mode additionally runs a real Pregel job through both the
+            serial and the shared-memory multiprocess engine and records
+            their bit-identity in the report; serial mode leaves the
+            fingerprint byte-identical to pre-scale-out reports.
     """
 
     trace: LoadTraceConfig = field(default_factory=LoadTraceConfig)
@@ -151,8 +158,13 @@ class HarnessConfig:
     frontend_max_workers: int = 4
     time_scale: float = 0.0
     elastic: bool = False
+    engine_mode: str = "serial"
 
     def __post_init__(self):
+        if self.engine_mode not in ("serial", "parallel"):
+            raise ValueError(
+                f"engine_mode must be 'serial' or 'parallel', got {self.engine_mode!r}"
+            )
         if self.window_s <= 0:
             raise ValueError("window_s must be positive")
         if self.recurring_tenants < 0 or self.recurring_periods < 1:
@@ -311,6 +323,11 @@ class LoadHarness:
         rec_skipped = sum(o.skipped for o in recurring.values())
         rec_windows = rec_runs + rec_skipped
 
+        engine_supersteps = 0
+        engine_parallel_match = False
+        if cfg.engine_mode == "parallel":
+            engine_supersteps, engine_parallel_match = self._engine_exercise()
+
         stats = self.service.cache_stats()
         svc = self.service.service_stats()
         lookups = stats.hits + stats.misses
@@ -364,6 +381,9 @@ class LoadHarness:
             pool_scale_downs=totals.pool_scale_downs,
             dispatch_batches=totals.dispatch_batches,
             dispatch_batch_max=totals.dispatch_batch_max,
+            engine_mode=cfg.engine_mode,
+            engine_supersteps=engine_supersteps,
+            engine_parallel_match=engine_parallel_match,
         )
         self._publish_metrics(report, totals.latencies, totals.queue_waits)
         return report
@@ -533,6 +553,37 @@ class LoadHarness:
                     continue
                 frontend.pool.idle_tick()
         return planned
+
+    # ------------------------------------------------------------------
+    def _engine_exercise(self) -> tuple[int, bool]:
+        """Serial-vs-parallel bit-identity spot check on a real engine.
+
+        The harness's planning/execution stack is mechanistic, so
+        parallel mode additionally runs one genuine Pregel job (SSSP on
+        a grid, whose frontier crosses many supersteps regardless of
+        the seed) through both execution modes and compares values and
+        per-superstep stats exactly.  On hosts without fork the
+        parallel engine transparently runs its serial path, so the
+        comparison still holds (and still vouches for the fallback).
+        """
+        from repro.engine.algorithms.sssp import SSSP
+        from repro.engine.engine import PregelEngine
+        from repro.graph.generators import grid_graph
+        from repro.partitioning.hashing import HashPartitioner
+
+        graph = grid_graph(16, 16)
+        partitioning = HashPartitioner().partition(graph, 4)
+        serial = PregelEngine(graph, SSSP(source=0), partitioning).run()
+        with PregelEngine(
+            graph, SSSP(source=0), partitioning, execution="parallel"
+        ) as engine:
+            parallel = engine.run()
+        match = (
+            serial.supersteps_run == parallel.supersteps_run
+            and np.array_equal(serial.values_array(), parallel.values_array())
+            and serial.stats == parallel.stats
+        )
+        return serial.supersteps_run, match
 
     # ------------------------------------------------------------------
     def _execute_planned(

@@ -76,6 +76,11 @@ class HourglassRuntime:
             matter while the computation stays exact).
         observers: :class:`~repro.exec.observers.LifecycleObserver`
             plug-ins (metrics collection, fault injection).
+        execution: engine execution mode — ``"serial"`` (default) or
+            ``"parallel"`` (shared-memory process workers).
+        delta_checkpoints: write delta checkpoints between periodic full
+            snapshots (changed vertices only), cutting steady-state
+            checkpoint bytes for shrinking-frontier programs.
     """
 
     def __init__(
@@ -91,6 +96,8 @@ class HourglassRuntime:
         time_scale: float = 1.0,
         data_scale: float = 1.0,
         observers=(),
+        execution: str = "serial",
+        delta_checkpoints: bool = False,
     ):
         self.graph = graph
         self.program_factory = program_factory
@@ -100,6 +107,8 @@ class HourglassRuntime:
         self.datastore = datastore or DataStore()
         self.seed = seed
         self.observers = tuple(observers)
+        self.execution = execution
+        self.delta_checkpoints = delta_checkpoints
 
         # Offline phase: micro-partition once (Fig 2 step 1).
         self.artefact: MicroPartitioning = MicroPartitioner(
@@ -149,8 +158,11 @@ class HourglassRuntime:
             program_factory=self.program_factory,
             loader=self.loader,
             perf=self.perf,
-            checkpoints=CheckpointManager(self.datastore, job_id),
+            checkpoints=CheckpointManager(
+                self.datastore, job_id, delta=self.delta_checkpoints
+            ),
             seed=self.seed,
+            execution=self.execution,
         )
         lifecycle = ExecutionLifecycle(
             market=self.market,

@@ -33,15 +33,31 @@ class EngineWorkModel(WorkModel):
         perf: the calibrated mechanistic performance model.
         checkpoints: checkpoint manager bound to this job's namespace.
         seed: randomness for shard clustering.
+        execution: engine execution mode — ``"serial"`` or ``"parallel"``
+            (shared-memory process workers; falls back to serial when
+            the platform or program does not support it).
+        num_processes: OS process cap for parallel execution.
     """
 
-    def __init__(self, graph, program_factory, loader, perf, checkpoints: CheckpointManager, seed=None):
+    def __init__(
+        self,
+        graph,
+        program_factory,
+        loader,
+        perf,
+        checkpoints: CheckpointManager,
+        seed=None,
+        execution: str = "serial",
+        num_processes: int | None = None,
+    ):
         self.graph = graph
         self.program_factory = program_factory
         self.loader = loader
         self.perf = perf
         self.checkpoints = checkpoints
         self.seed = seed
+        self.execution = execution
+        self.num_processes = num_processes
         self._engine: PregelEngine | None = None
         self._supersteps = 0
         self._frontier = 1.0
@@ -50,7 +66,7 @@ class EngineWorkModel(WorkModel):
 
     def start(self) -> None:
         """Reset per-run progress state."""
-        self._engine = None
+        self._close_engine()
         self._supersteps = 0
         self._frontier = 1.0
         self._persisted_frontier = 1.0
@@ -66,9 +82,14 @@ class EngineWorkModel(WorkModel):
 
     def on_deployed(self, config: Configuration, t: float) -> None:
         """Cluster shards, build a fresh engine, restore the checkpoint."""
+        self._close_engine()
         load = self.loader.load(self.graph, config.num_workers, seed=self.seed)
         self._engine = PregelEngine(
-            self.graph, self.program_factory(), load.partitioning
+            self.graph,
+            self.program_factory(),
+            load.partitioning,
+            execution=self.execution,
+            num_processes=self.num_processes,
         )
         latest = self.checkpoints.latest()
         read_seconds = 0.0
@@ -82,6 +103,12 @@ class EngineWorkModel(WorkModel):
 
     def on_deploy_evicted(self) -> None:
         """The deployment died during setup; no engine was built."""
+        self._close_engine()
+
+    def _close_engine(self) -> None:
+        """Release the current engine's resources (shared memory, pool)."""
+        if self._engine is not None:
+            self._engine.close()
         self._engine = None
 
     def run_segment(self, config: Configuration, budget: float) -> SegmentPlan:
@@ -109,7 +136,7 @@ class EngineWorkModel(WorkModel):
 
     def on_evicted(self, config: Configuration, t_start: float, t_evict: float) -> None:
         """Discard the deployment; roll back to the last real checkpoint."""
-        self._engine = None
+        self._close_engine()
         latest = self.checkpoints.latest()
         self._supersteps = latest.superstep if latest is not None else 0
         self._frontier = self._persisted_frontier if latest is not None else 1.0

@@ -1,0 +1,358 @@
+"""Checkpoint format back-compat, delta chains, and corruption fallback.
+
+Covers the three readable payload formats (legacy per-worker dicts,
+dense format-2 state, compressed format-3 envelopes), the delta-chain
+restore path (full + changed-vertex delta must equal a full-snapshot
+restore bit-exactly), corrupted-envelope fallback, and the chain-aware
+prune.  The runtime-level test reuses the fault-injection observers to
+drive a real eviction/recovery cycle over delta checkpoints.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cloud import default_catalog, transient_configs
+from repro.engine import DataStore, PregelEngine
+from repro.engine.algorithms import SSSP, PageRank
+from repro.engine.checkpoint import (
+    CheckpointCorruptionError,
+    CheckpointManager,
+)
+from repro.exec import DatastoreWriteFaults, EvictionStormFaults
+from repro.graph import generators
+from repro.obs import state as obs_state
+from repro.partitioning.hashing import HashPartitioner
+from repro.runtime import HourglassRuntime
+from tests.test_fault_injection import PinnedProvisioner
+
+
+@pytest.fixture()
+def graph():
+    return generators.grid_graph(10, 10)
+
+
+@pytest.fixture()
+def partitioning(graph):
+    return HashPartitioner().partition(graph, 3)
+
+
+def make_engine(graph, partitioning, steps=0):
+    engine = PregelEngine(graph, SSSP(source=0), partitioning)
+    for _ in range(steps):
+        engine.step()
+    return engine
+
+
+def assert_state_equal(a: PregelEngine, b: PregelEngine):
+    assert a.superstep == b.superstep
+    assert np.array_equal(a._values, b._values)
+    assert np.array_equal(a._halted, b._halted)
+    assert a.stats == b.stats
+
+
+class TestFormat3Full:
+    def test_roundtrip(self, graph, partitioning):
+        store = DataStore()
+        manager = CheckpointManager(store, "job")
+        engine = make_engine(graph, partitioning, steps=3)
+        info = manager.save(engine)
+        assert info.kind == "full"
+        assert info.nbytes > 0
+        raw, _ = store.get_object_timed(info.key)
+        assert raw["format"] == 3
+        assert raw["kind"] == "full"
+        assert raw["codec"] == "zlib"
+
+        restored = make_engine(graph, partitioning)
+        manager.load_into(restored)
+        assert_state_equal(engine, restored)
+
+    def test_codec_none_writes_legacy_format2(self, graph, partitioning):
+        store = DataStore()
+        manager = CheckpointManager(store, "job", codec=None)
+        engine = make_engine(graph, partitioning, steps=2)
+        info = manager.save(engine)
+        raw, _ = store.get_object_timed(info.key)
+        assert raw["format"] == 2  # plain state dict, no envelope
+        restored = make_engine(graph, partitioning)
+        manager.load_into(restored)
+        assert_state_equal(engine, restored)
+
+    def test_compression_shrinks_payload(self, graph, partitioning):
+        engine = make_engine(graph, partitioning, steps=2)
+        plain_store, packed_store = DataStore(), DataStore()
+        plain = CheckpointManager(plain_store, "job", codec=None).save(engine)
+        packed = CheckpointManager(packed_store, "job").save(engine)
+        assert packed.nbytes < plain.nbytes
+
+    def test_zstd_degrades_to_zlib_when_unavailable(self, graph, partitioning):
+        manager = CheckpointManager(DataStore(), "job", codec="zstd")
+        assert manager.codec in ("zstd", "zlib")
+        engine = make_engine(graph, partitioning, steps=1)
+        manager.save(engine)
+        restored = make_engine(graph, partitioning)
+        manager.load_into(restored)
+        assert_state_equal(engine, restored)
+
+    def test_invalid_codec_rejected(self):
+        with pytest.raises(ValueError):
+            CheckpointManager(DataStore(), "job", codec="lz4")
+
+    def test_invalid_full_interval_rejected(self):
+        with pytest.raises(ValueError):
+            CheckpointManager(DataStore(), "job", full_interval=0)
+
+
+class TestLegacyFormat1:
+    def test_per_worker_dict_restore_through_manager(self, graph, partitioning):
+        from repro.engine.checkpoint import CheckpointInfo
+
+        engine = make_engine(graph, partitioning)
+        result = engine.run()
+        legacy = {
+            "superstep": engine.superstep,
+            "workers": [w.state_snapshot() for w in engine.workers],
+            "pending_messages": {},
+            "prev_aggregates": {},
+        }
+        store = DataStore()
+        store.put_object("legacy-key", legacy)
+        manager = CheckpointManager(store, "job")
+        restored = make_engine(graph, partitioning)
+        manager.load_into(
+            restored,
+            CheckpointInfo(
+                key="legacy-key",
+                superstep=engine.superstep,
+                nbytes=store.size_of("legacy-key"),
+                simulated_write_seconds=0.0,
+            ),
+        )
+        assert restored.superstep == engine.superstep
+        assert restored.values() == result.values
+
+
+class TestDeltaChains:
+    def save_sequence(self, manager, graph, partitioning, saves):
+        engine = make_engine(graph, partitioning)
+        infos = []
+        for _ in range(saves):
+            engine.step()
+            infos.append(manager.save(engine))
+        return engine, infos
+
+    def test_full_delta_cadence_and_bases(self, graph, partitioning):
+        manager = CheckpointManager(
+            DataStore(), "job", keep_last=10, delta=True, full_interval=3
+        )
+        _, infos = self.save_sequence(manager, graph, partitioning, 5)
+        assert [i.kind for i in infos] == ["full", "delta", "delta", "delta", "full"]
+        for info in infos[1:4]:
+            assert info.base_key == infos[0].key
+
+    def test_delta_restore_equals_full_restore_bit_exact(self, graph, partitioning):
+        delta_mgr = CheckpointManager(
+            DataStore(), "job", keep_last=10, delta=True, full_interval=4
+        )
+        full_mgr = CheckpointManager(DataStore(), "job", keep_last=10)
+        engine = make_engine(graph, partitioning)
+        for _ in range(3):
+            engine.step()
+            delta_mgr.save(engine)
+            full_mgr.save(engine)
+        assert delta_mgr.latest().kind == "delta"
+
+        from_delta = make_engine(graph, partitioning)
+        from_full = make_engine(graph, partitioning)
+        delta_mgr.load_into(from_delta)
+        full_mgr.load_into(from_full)
+        assert_state_equal(from_full, from_delta)
+        assert_state_equal(engine, from_delta)
+
+    def test_delta_is_smaller_in_steady_state(self):
+        # Steady state: the full snapshot always carries every vertex,
+        # the delta only the frontier that changed since the last full.
+        big = generators.grid_graph(40, 40)
+        partitioning = HashPartitioner().partition(big, 3)
+        engine = make_engine(big, partitioning, steps=10)
+        manager = CheckpointManager(
+            DataStore(), "job", keep_last=10, delta=True, full_interval=8
+        )
+        full = manager.save(engine)
+        engine.step()
+        delta = manager.save(engine)
+        assert (full.kind, delta.kind) == ("full", "delta")
+        assert delta.nbytes < full.nbytes
+        # And >= 3x smaller than the same state in plain format 2.
+        format2 = CheckpointManager(DataStore(), "job", codec=None).save(engine)
+        assert 3 * delta.nbytes <= format2.nbytes
+
+    def test_resume_and_finish_from_delta(self, graph, partitioning):
+        reference = make_engine(graph, partitioning).run()
+        manager = CheckpointManager(
+            DataStore(), "job", keep_last=10, delta=True, full_interval=4
+        )
+        engine, _ = self.save_sequence(manager, graph, partitioning, 3)
+        restored = make_engine(graph, partitioning)
+        manager.load_into(restored)
+        result = restored.run()
+        assert np.array_equal(reference.values_array(), result.values_array())
+        assert reference.stats == result.stats
+
+    def test_restore_across_worker_layouts(self, graph):
+        three = HashPartitioner().partition(graph, 3)
+        five = HashPartitioner().partition(graph, 5)
+        manager = CheckpointManager(
+            DataStore(), "job", keep_last=10, delta=True, full_interval=4
+        )
+        engine, _ = self.save_sequence(manager, graph, three, 3)
+        restored = make_engine(graph, five)
+        manager.load_into(restored)
+        assert_state_equal(engine, restored)
+
+    def test_corrupted_delta_falls_back_to_intact_chain(self, graph, partitioning):
+        store = DataStore()
+        manager = CheckpointManager(
+            store, "job", keep_last=10, delta=True, full_interval=4
+        )
+        _, infos = self.save_sequence(manager, graph, partitioning, 3)
+        # Truncate the newest delta's compressed payload in the store.
+        env, _ = store.get_object_timed(infos[2].key)
+        env["payload"] = env["payload"][:-4]
+        store.put_object(infos[2].key, env)
+
+        restored = make_engine(graph, partitioning)
+        manager.load_into(restored)  # falls back to the superstep-2 delta
+        assert restored.superstep == infos[1].superstep
+
+    def test_corrupted_base_falls_back_to_nothing_raises(self, graph, partitioning):
+        store = DataStore()
+        manager = CheckpointManager(
+            store, "job", keep_last=10, delta=True, full_interval=4
+        )
+        _, infos = self.save_sequence(manager, graph, partitioning, 2)
+        env, _ = store.get_object_timed(infos[0].key)
+        env["crc32"] ^= 0xFFFF
+        store.put_object(infos[0].key, env)
+
+        restored = make_engine(graph, partitioning)
+        with pytest.raises(CheckpointCorruptionError):
+            manager.load_into(restored)
+
+    def test_explicit_corrupt_info_does_not_fall_back(self, graph, partitioning):
+        store = DataStore()
+        manager = CheckpointManager(
+            store, "job", keep_last=10, delta=True, full_interval=4
+        )
+        _, infos = self.save_sequence(manager, graph, partitioning, 2)
+        store.delete(infos[1].key)
+        restored = make_engine(graph, partitioning)
+        with pytest.raises(CheckpointCorruptionError):
+            manager.load_into(restored, infos[1])
+
+    def test_prune_is_chain_aware(self, graph, partitioning):
+        store = DataStore()
+        manager = CheckpointManager(
+            store, "job", keep_last=2, delta=True, full_interval=3
+        )
+        engine = make_engine(graph, partitioning)
+        infos = []
+        for _ in range(6):
+            engine.step()
+            infos.append(manager.save(engine))
+        # f1 d2 d3 d4 f5 d6: after save 4 the base full must survive the
+        # keep window because retained deltas compose with it...
+        assert [i.kind for i in infos] == [
+            "full", "delta", "delta", "delta", "full", "delta",
+        ]
+        keys = set(store.list_keys("checkpoints/"))
+        # ...but once the second full landed and its delta is the only
+        # retained chain, the first full (and its deltas) are gone.
+        assert infos[0].key not in keys
+        assert keys == {infos[4].key, infos[5].key}
+        assert [i.key for i in manager.history()] == [infos[4].key, infos[5].key]
+
+        restored = make_engine(graph, partitioning)
+        manager.load_into(restored)
+        assert_state_equal(engine, restored)
+
+    def test_prune_keeps_base_while_deltas_reference_it(self, graph, partitioning):
+        store = DataStore()
+        manager = CheckpointManager(
+            store, "job", keep_last=2, delta=True, full_interval=8
+        )
+        _, infos = self.save_sequence(manager, graph, partitioning, 4)
+        keys = set(store.list_keys("checkpoints/"))
+        assert infos[0].key in keys  # full base survives the keep window
+        assert infos[1].key not in keys  # plain old delta rotated out
+        restored = make_engine(graph, partitioning)
+        manager.load_into(restored)
+        assert restored.superstep == infos[3].superstep
+
+
+class TestDeltaMetrics:
+    def test_delta_ratio_exported_when_traced(self, graph, partitioning):
+        tracer, metrics = obs_state.enable()
+        try:
+            manager = CheckpointManager(
+                DataStore(), "job", keep_last=10, delta=True, full_interval=4
+            )
+            engine = make_engine(graph, partitioning)
+            engine.step()
+            manager.save(engine)
+            engine.step()
+            manager.save(engine)
+            rendered = metrics.to_prometheus()
+            assert "checkpoint_delta_ratio" in rendered
+            assert 'kind="delta"' in rendered
+        finally:
+            obs_state.disable()
+
+
+class TestRuntimeDeltaRecovery:
+    def test_eviction_recovery_over_delta_chain_is_exact(self, long_market):
+        # The real lifecycle: delta checkpoints on, a flaky datastore
+        # write (DatastoreWriteFaults) and a forced eviction — recovery
+        # composes full+delta chains and the answer must match an
+        # undisturbed run.
+        catalog = tuple(default_catalog())
+        graph = generators.community_graph(
+            800, num_communities=8, avg_degree=10, seed=4
+        )
+        config = transient_configs(catalog)[0]
+        rt = HourglassRuntime(
+            graph,
+            lambda: PageRank(iterations=12),
+            long_market,
+            catalog,
+            PinnedProvisioner(config),
+            num_micro_parts=32,
+            seed=2,
+            time_scale=3000.0,
+            data_scale=20_000,
+            delta_checkpoints=True,
+        )
+        undisturbed = PregelEngine(
+            graph,
+            PageRank(iterations=12),
+            rt.artefact.cluster(config.num_workers, seed=2),
+        ).run()
+        budget = rt.perf.fixed_time(rt.lrc) + 3.0 * rt.perf.exec_time(rt.lrc)
+        uptime = 1.5 * rt.perf.setup_time(config)
+        faults = DatastoreWriteFaults({1}, retries=0)
+        rt.observers = (faults, EvictionStormFaults(uptime, max_evictions=1))
+        result = rt.execute(0.0, budget)
+
+        assert result.events[-1].kind == "finish"
+        assert result.evictions >= 1
+        kinds = {
+            obj.get("kind")
+            for key in rt.datastore.list_keys("checkpoints/")
+            for obj in [rt.datastore.get_object_timed(key)[0]]
+            if isinstance(obj, dict)
+        }
+        assert "delta" in kinds or "full" in kinds
+        for v, value in undisturbed.values.items():
+            assert result.values[v] == pytest.approx(value, abs=1e-15)
