@@ -20,10 +20,15 @@ class BillingMeter:
     Args:
         market: the replayed spot market (on-demand machines are billed
             at list price by the market itself).
+        on_bill: optional callback ``(config, t1, seconds, dollars)``
+            invoked after each non-empty billed interval — the live
+            spend feed behind per-tenant attribution and the
+            ``on_bill`` lifecycle observer hook.
     """
 
-    def __init__(self, market: SpotMarket):
+    def __init__(self, market: SpotMarket, on_bill=None):
         self.market = market
+        self.on_bill = on_bill
         self.cost = 0.0
         self.spot_seconds = 0.0
         self.on_demand_seconds = 0.0
@@ -38,4 +43,6 @@ class BillingMeter:
             self.on_demand_seconds += (t1 - t0) * config.num_workers
         added = self.market.cost(config, t0, t1)
         self.cost += added
+        if self.on_bill is not None:
+            self.on_bill(config, t1, t1 - t0, added)
         return added

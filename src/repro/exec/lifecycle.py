@@ -95,7 +95,18 @@ class ExecutionLifecycle:
         if self.rescale_policy is not None:
             self.rescale_policy.reset()
         model.start()
-        meter = BillingMeter(self.market)
+        meter = BillingMeter(
+            self.market,
+            on_bill=(
+                (
+                    lambda config, t1, seconds, dollars: self._notify(
+                        "on_bill", t1, config, seconds, dollars
+                    )
+                )
+                if self.observers
+                else None
+            ),
+        )
 
         t = release_time
         config = None
@@ -336,10 +347,18 @@ class ExecutionLifecycle:
         )
 
     def _notify(self, hook: str, *args) -> None:
-        """Call an observation hook on every observer, in order."""
+        """Call an observation hook on every observer, in order.
+
+        Observers implementing only part of the protocol (duck-typed
+        plug-ins predating newer hooks like ``on_rescale``/``on_bill``)
+        are skipped for the hooks they lack rather than blown up on.
+        """
         for observer in self.observers:
+            fn = getattr(observer, hook, None)
+            if fn is None:
+                continue
             try:
-                getattr(observer, hook)(*args)
+                fn(*args)
             except ExecutionError:
                 raise
             except Exception as exc:

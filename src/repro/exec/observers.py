@@ -77,6 +77,17 @@ class LifecycleObserver:
         ``on_deploy``.
         """
 
+    def on_bill(
+        self, t: float, config: Configuration, seconds: float, dollars: float
+    ) -> None:
+        """The meter billed *config* for *seconds* of wall occupancy.
+
+        *seconds* is per-deployment (multiply by ``config.num_workers``
+        for machine-seconds); *dollars* is what the interval actually
+        cost at market prices.  Fired live, as intervals close — the
+        hook that makes mid-run spend attribution possible.
+        """
+
     def on_finish(self, t: float, result) -> None:
         """The job completed; *result* is the final RunResult."""
 

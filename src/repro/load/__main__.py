@@ -29,9 +29,27 @@ multiprocess engine, with the bit-identity of their results recorded in
 the report (and enforced — divergence makes the run degenerate).  Serial
 mode leaves the report fingerprint byte-identical to earlier releases.
 
+``--serve`` turns the run into a live, observable one: the ``load_*``
+series are published at event time, a background sampler maintains
+10 s / 1 m / 5 m windowed aggregates with burn-rate SLO evaluation, every
+executed run is attributed to its tenant in a cost ledger, and a
+scrapeable HTTP endpoint (``/metrics``, ``/health``, ``/slo``,
+``/tenants``) serves all of it while the harness runs::
+
+    python -m repro.load --jobs 200 --serve --port 9109 &
+    curl -s localhost:9109/metrics | head
+    curl -s localhost:9109/slo | python -m json.tool
+
+``--watch SECONDS`` prints a live status panel to stderr at that period
+(usable with or without ``--serve``).  Either flag appends SLO and
+per-tenant attribution sections to the final report — rendered outside
+:class:`LoadReport`, so the report fingerprint is bit-identical with
+serving on or off.
+
 ``--out DIR`` additionally writes ``report.txt``, the arrival trace as
 ``trace.jsonl`` (replayable via :meth:`ArrivalTrace.from_jsonl`) and the
-``load_*`` metrics in Prometheus text format as ``metrics.prom``.
+``load_*`` metrics in Prometheus text format as ``metrics.prom`` (plus
+``slo.json`` / ``tenants.json`` when serving).
 
 The process exits non-zero if the run is degenerate (nothing admitted or
 nothing planned), which is what the CI smoke job keys off.
@@ -192,6 +210,33 @@ def build_parser() -> argparse.ArgumentParser:
         "(the report fingerprint is unchanged in serial mode)",
     )
     parser.add_argument(
+        "--serve",
+        action="store_true",
+        help="publish metrics live and expose /metrics /health /slo "
+        "/tenants over HTTP while the run is in flight",
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="ops endpoint port with --serve (0 = pick a free port)",
+    )
+    parser.add_argument(
+        "--watch",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="print a live status panel to stderr at this period "
+        "(0 disables; implies live metrics like --serve)",
+    )
+    parser.add_argument(
+        "--sample-interval",
+        type=float,
+        default=0.5,
+        help="seconds between windowed-aggregation samples in serve/"
+        "watch mode",
+    )
+    parser.add_argument(
         "--out", type=Path, default=None, help="artifact directory (report/trace/metrics)"
     )
     return parser
@@ -233,15 +278,87 @@ def main(argv=None) -> int:
     )
     metrics = MetricsRegistry()
     trace = generate_trace(trace_config)
-    report = LoadHarness(config, metrics=metrics).run(trace)
+
+    serving = args.serve or args.watch > 0
+    aggregator = monitor = ledger = server = sampler = watcher = None
+    if serving:
+        if args.sample_interval <= 0:
+            print("--sample-interval must be positive", file=sys.stderr)
+            return 2
+        from repro.load.watch import WatchLoop
+        from repro.obs.attribution import CostLedger
+        from repro.obs.server import OpsServer
+        from repro.obs.slo import SloMonitor, default_slos
+        from repro.obs.window import (
+            SamplerThread,
+            WindowConfig,
+            WindowedAggregator,
+        )
+
+        aggregator = WindowedAggregator(
+            metrics, WindowConfig(interval=args.sample_interval)
+        )
+        monitor = SloMonitor(aggregator, default_slos(), metrics=metrics)
+        ledger = CostLedger(metrics=metrics)
+        if args.serve:
+            server = OpsServer(
+                metrics,
+                aggregator=aggregator,
+                monitor=monitor,
+                ledger=ledger,
+                port=args.port,
+                sample_interval=args.sample_interval,
+            ).start()
+            print(
+                f"[ops endpoint on {server.url} — /metrics /health /slo /tenants]",
+                file=sys.stderr,
+            )
+        else:
+            sampler = SamplerThread(
+                aggregator, args.sample_interval, on_sample=(monitor.evaluate,)
+            ).start()
+        if args.watch > 0:
+            watcher = WatchLoop(
+                aggregator, monitor, ledger, interval=args.watch
+            ).start()
+
+    try:
+        report = LoadHarness(
+            config, metrics=metrics, ledger=ledger, live_metrics=serving
+        ).run(trace)
+    finally:
+        if watcher is not None:
+            watcher.close()
+        if server is not None:
+            server.close()
+        if sampler is not None:
+            sampler.close()
     rendered = report.render()
+    if serving:
+        # One final sample/evaluation so the sections reflect the whole
+        # run (the background sampler is stopped by now).
+        aggregator.sample()
+        monitor.evaluate()
+        from repro.load.report import format_slo_section, format_tenant_section
+
+        rendered += "\n\n" + format_slo_section(monitor.as_dict())
+        rendered += "\n\n" + format_tenant_section(ledger.as_dict())
     print(rendered)
 
     if args.out is not None:
+        import json
+
         args.out.mkdir(parents=True, exist_ok=True)
         (args.out / "report.txt").write_text(rendered + "\n")
         trace.to_jsonl(args.out / "trace.jsonl")
         (args.out / "metrics.prom").write_text(metrics.to_prometheus())
+        if serving:
+            (args.out / "slo.json").write_text(
+                json.dumps(monitor.as_dict(), indent=1, sort_keys=True) + "\n"
+            )
+            (args.out / "tenants.json").write_text(
+                json.dumps(ledger.as_dict(), indent=1, sort_keys=True) + "\n"
+            )
         print(f"\n[artifacts written to {args.out}]")
 
     problems = []

@@ -184,11 +184,30 @@ class LoadHarness:
         config: the run description.
         metrics: registry for the ``load_*`` series (default: the
             process registry).
+        ledger: optional :class:`~repro.obs.attribution.CostLedger`;
+            every executed run (one-shot and recurring) is attributed
+            to its trace tenant as it finishes, so per-tenant spend is
+            queryable mid-run and its dollar total matches the final
+            report's ``user_cost_dollars``.
+        live_metrics: publish the ``load_*`` series incrementally at
+            event time (scrapeable mid-run) instead of once at the end
+            of :meth:`run`.  The end-of-run totals published are
+            identical either way — live mode only changes *when* the
+            series move, never the simulated results or the report
+            fingerprint.
     """
 
-    def __init__(self, config: HarnessConfig, metrics=None):
+    def __init__(
+        self,
+        config: HarnessConfig,
+        metrics=None,
+        ledger=None,
+        live_metrics: bool = False,
+    ):
         self.config = config
         self.metrics = metrics if metrics is not None else get_metrics()
+        self.ledger = ledger
+        self.live_metrics = live_metrics
         self.setup = ExperimentSetup(
             seed=config.trace.seed, trace_days=config.trace_days
         )
@@ -196,6 +215,75 @@ class LoadHarness:
         self._models: dict[tuple[str, float], tuple] = {}
         self._simulators: dict[tuple[str, float], ExecutionSimulator] = {}
         self._recurring_apps: dict[str, tuple[str, float]] = {}
+        if live_metrics:
+            self._init_live_series()
+
+    def _init_live_series(self) -> None:
+        """Zero-touch every live ``load_*`` series so the scrape schema
+        is stable from the first sample (a windowed ratio over a series
+        that does not exist yet reads as no-traffic, which is correct,
+        but a stable label set makes dashboards and tests simpler)."""
+        mx = self.metrics
+        jobs = mx.counter("load_jobs_total", "Trace jobs by admission outcome")
+        for outcome in (
+            "planned", "rejected_overload", "rejected_invalid", "deadline_lost"
+        ):
+            jobs.inc(0, outcome=outcome)
+        runs = mx.counter("load_runs_total", "Executed one-shot runs by outcome")
+        runs.inc(0, outcome="met")
+        runs.inc(0, outcome="missed")
+        rec = mx.counter(
+            "load_recurring_windows_total", "Recurring windows by outcome"
+        )
+        for outcome in ("met", "missed", "skipped"):
+            rec.inc(0, outcome=outcome)
+        mx.histogram(
+            "load_plan_latency_seconds", "Per-slot plan service time (batch path)"
+        )
+        mx.histogram("load_plan_queue_wait_seconds", "Per-slot batch queue wait")
+        mx.counter(
+            "load_provider_idle_machine_seconds_total",
+            "Billed machine-seconds beyond ideal compute (Granny provider cost)",
+        ).inc(0)
+        mx.counter(
+            "load_user_cost_dollars_total", "Dollars billed across executed runs"
+        ).inc(0)
+        mx.counter(
+            "load_service_time_seconds_total",
+            "Arrival-to-finish simulated seconds across executed runs",
+        ).inc(0)
+
+    # ------------------------------------------------------------------
+    # Live publication (no-ops unless live_metrics is on)
+    # ------------------------------------------------------------------
+    def _live_job(self, outcome: str, n: int = 1) -> None:
+        if self.live_metrics and n:
+            self.metrics.counter(
+                "load_jobs_total", "Trace jobs by admission outcome"
+            ).inc(n, outcome=outcome)
+
+    def _live_plan(self, latency_s: float, queue_wait_s: float) -> None:
+        if self.live_metrics:
+            self.metrics.histogram(
+                "load_plan_latency_seconds",
+                "Per-slot plan service time (batch path)",
+            ).observe(latency_s)
+            self.metrics.histogram(
+                "load_plan_queue_wait_seconds", "Per-slot batch queue wait"
+            ).observe(queue_wait_s)
+
+    def _live_run(
+        self, counter: str, result: RunResult, idle: float, span: float
+    ) -> None:
+        if not self.live_metrics:
+            return
+        mx = self.metrics
+        mx.counter(counter, "").inc(
+            1, outcome="missed" if result.missed_deadline else "met"
+        )
+        mx.counter("load_provider_idle_machine_seconds_total", "").inc(idle)
+        mx.counter("load_user_cost_dollars_total", "").inc(result.cost)
+        mx.counter("load_service_time_seconds_total", "").inc(span)
 
     # ------------------------------------------------------------------
     # Per-(app, scale) plumbing
@@ -310,14 +398,22 @@ class LoadHarness:
             ideal = self._ideal_seconds(app, scale)
             for result in outcome.results:
                 billed = result.spot_seconds + result.on_demand_seconds
+                idle = max(0.0, billed - ideal)
                 totals.user_cost += result.cost
                 totals.fold_rescales(result)
                 # Scheduled release (deadline - period) anchors service
                 # time, so an overrun-delayed run is charged its wait.
-                totals.service_time += result.finish_time - (
-                    result.deadline - outcome.period
-                )
-                totals.provider_idle += max(0.0, billed - ideal)
+                scheduled = result.deadline - outcome.period
+                span = result.finish_time - scheduled
+                totals.service_time += span
+                totals.provider_idle += idle
+                self._live_run("load_recurring_windows_total", result, idle, span)
+                if self.ledger is not None:
+                    self.ledger.record_run(name, result, ideal, arrival=scheduled)
+            if self.live_metrics and outcome.skipped:
+                self.metrics.counter(
+                    "load_recurring_windows_total", "Recurring windows by outcome"
+                ).inc(outcome.skipped, outcome="skipped")
         rec_runs = sum(o.runs for o in recurring.values())
         rec_missed = sum(o.missed for o in recurring.values())
         rec_skipped = sum(o.skipped for o in recurring.values())
@@ -413,6 +509,7 @@ class LoadHarness:
                 pending_job = next(job_iter, None)
             admitted, rejected = controller.offer(arrivals)
             totals.rejected_overload += len(rejected)
+            self._live_job("rejected_overload", len(rejected))
 
             requests: list[PlanRequest] = []
             request_jobs: list[TraceJob] = []
@@ -422,6 +519,7 @@ class LoadHarness:
                     # Queued past its whole deadline: the window is
                     # unservable — an SLO loss, not a planner error.
                     totals.deadline_lost += 1
+                    self._live_job("deadline_lost")
                     continue
                 requests.append(self._request_for(job, window_end))
                 request_jobs.append(job)
@@ -431,10 +529,15 @@ class LoadHarness:
                 for job, slot in zip(request_jobs, slots):
                     if not isinstance(slot, PlanResult):
                         totals.rejected_invalid += 1
+                        self._live_job("rejected_invalid")
                         continue
                     totals.planned += 1
                     totals.latencies.append(slot.telemetry.latency_s)
                     totals.queue_waits.append(slot.telemetry.queue_wait_s)
+                    self._live_job("planned")
+                    self._live_plan(
+                        slot.telemetry.latency_s, slot.telemetry.queue_wait_s
+                    )
                     self._execute_planned(job, window_end, totals)
 
             window += 1
@@ -497,13 +600,18 @@ class LoadHarness:
                 result = await frontend.plan(self._request_for(job, t_plan))
             except FrontendOverloadError:
                 totals.rejected_overload += 1
+                self._live_job("rejected_overload")
                 return
             except PlanError:
                 totals.rejected_invalid += 1
+                self._live_job("rejected_invalid")
                 return
             totals.planned += 1
-            totals.latencies.append(time.perf_counter() - started)
+            latency = time.perf_counter() - started
+            totals.latencies.append(latency)
             totals.queue_waits.append(result.telemetry.queue_wait_s)
+            self._live_job("planned")
+            self._live_plan(latency, result.telemetry.queue_wait_s)
             planned.append((job, t_plan))
 
         async with frontend:
@@ -523,6 +631,7 @@ class LoadHarness:
                     deadline = self._deadline_for(job)
                     if deadline <= window_end:
                         totals.deadline_lost += 1
+                        self._live_job("deadline_lost")
                     else:
                         tasks.append(asyncio.create_task(submit(job, window_end)))
                         burst += 1
@@ -600,6 +709,14 @@ class LoadHarness:
         totals.provider_idle += idle
         totals.user_cost += dollars
         totals.service_time += span
+        self._live_run("load_runs_total", result, idle, span)
+        if self.ledger is not None:
+            self.ledger.record_run(
+                job.tenant,
+                result,
+                self._ideal_seconds(job.app, job.scale),
+                arrival=self.setup.market.start + job.arrival_s,
+            )
 
     # ------------------------------------------------------------------
     def _execute(self, job: TraceJob, release: float) -> RunResult:
@@ -659,43 +776,51 @@ class LoadHarness:
 
     # ------------------------------------------------------------------
     def _publish_metrics(self, report: LoadReport, latencies, queue_waits) -> None:
-        """Export the run's aggregates as ``load_*`` metrics series."""
+        """Export the run's aggregates as ``load_*`` metrics series.
+
+        In ``live_metrics`` mode the event-time publication already
+        moved every counter/histogram below; re-adding the totals here
+        would double-count, so only the end-of-run gauge (and the
+        elastic section, which is folded from results, not events) is
+        published.
+        """
         mx = self.metrics
-        jobs = mx.counter("load_jobs_total", "Trace jobs by admission outcome")
-        jobs.inc(report.planned, outcome="planned")
-        jobs.inc(report.rejected_overload, outcome="rejected_overload")
-        jobs.inc(report.rejected_invalid, outcome="rejected_invalid")
-        jobs.inc(report.deadline_lost, outcome="deadline_lost")
-        lat = mx.histogram(
-            "load_plan_latency_seconds", "Per-slot plan service time (batch path)"
-        )
-        for v in latencies:
-            lat.observe(v)
-        wait = mx.histogram(
-            "load_plan_queue_wait_seconds", "Per-slot batch queue wait"
-        )
-        for v in queue_waits:
-            wait.observe(v)
-        runs = mx.counter("load_runs_total", "Executed one-shot runs by outcome")
-        runs.inc(report.executed - report.missed, outcome="met")
-        runs.inc(report.missed, outcome="missed")
-        rec = mx.counter(
-            "load_recurring_windows_total", "Recurring windows by outcome"
-        )
-        rec.inc(report.recurring_runs - report.recurring_missed, outcome="met")
-        rec.inc(report.recurring_missed, outcome="missed")
-        rec.inc(report.recurring_skipped, outcome="skipped")
-        mx.counter(
-            "load_provider_idle_machine_seconds_total",
-            "Billed machine-seconds beyond ideal compute (Granny provider cost)",
-        ).inc(report.provider_idle_machine_s)
-        mx.counter(
-            "load_user_cost_dollars_total", "Dollars billed across executed runs"
-        ).inc(report.user_cost_dollars)
-        mx.counter(
-            "load_service_time_seconds_total",
-            "Arrival-to-finish simulated seconds across executed runs",
-        ).inc(report.service_time_s)
+        if not self.live_metrics:
+            jobs = mx.counter("load_jobs_total", "Trace jobs by admission outcome")
+            jobs.inc(report.planned, outcome="planned")
+            jobs.inc(report.rejected_overload, outcome="rejected_overload")
+            jobs.inc(report.rejected_invalid, outcome="rejected_invalid")
+            jobs.inc(report.deadline_lost, outcome="deadline_lost")
+            lat = mx.histogram(
+                "load_plan_latency_seconds", "Per-slot plan service time (batch path)"
+            )
+            for v in latencies:
+                lat.observe(v)
+            wait = mx.histogram(
+                "load_plan_queue_wait_seconds", "Per-slot batch queue wait"
+            )
+            for v in queue_waits:
+                wait.observe(v)
+            runs = mx.counter("load_runs_total", "Executed one-shot runs by outcome")
+            runs.inc(report.executed - report.missed, outcome="met")
+            runs.inc(report.missed, outcome="missed")
+            rec = mx.counter(
+                "load_recurring_windows_total", "Recurring windows by outcome"
+            )
+            rec.inc(report.recurring_runs - report.recurring_missed, outcome="met")
+            rec.inc(report.recurring_missed, outcome="missed")
+            rec.inc(report.recurring_skipped, outcome="skipped")
+            mx.counter(
+                "load_provider_idle_machine_seconds_total",
+                "Billed machine-seconds beyond ideal compute (Granny provider cost)",
+            ).inc(report.provider_idle_machine_s)
+            mx.counter(
+                "load_user_cost_dollars_total", "Dollars billed across executed runs"
+            ).inc(report.user_cost_dollars)
+            mx.counter(
+                "load_service_time_seconds_total",
+                "Arrival-to-finish simulated seconds across executed runs",
+            ).inc(report.service_time_s)
         mx.gauge("load_queue_peak", "Admission backlog high-water mark").set(
             report.queue_peak
         )

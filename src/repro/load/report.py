@@ -306,3 +306,70 @@ class LoadReport:
             ),
         ]
         return "\n\n".join(section for section in sections if section is not None)
+
+
+# ----------------------------------------------------------------------
+# Live-operations sections (rendered by the CLI *outside* the report, so
+# the report fingerprint never depends on serving-mode observations)
+# ----------------------------------------------------------------------
+def format_slo_section(slo_payload: dict) -> str:
+    """The ``/slo`` payload as a report table (one row per objective)."""
+    rows = []
+    for obj in slo_payload.get("objectives", []):
+        burns = obj.get("burn_rate", {})
+        worst = max(burns.values()) if burns else 0.0
+        rows.append(
+            {
+                "objective": obj["name"],
+                "kind": obj["kind"],
+                "target": obj["target"],
+                "worst_burn": round(worst, 3),
+                "firing": ",".join(obj.get("firing", [])) or "-",
+            }
+        )
+    if not rows:
+        rows = [{"objective": "-", "kind": "-", "target": 0,
+                 "worst_burn": 0.0, "firing": "-"}]
+    title = (
+        f"SLO monitor ({slo_payload.get('evaluations', 0)} evaluations, "
+        f"{slo_payload.get('alerts', 0)} alert transitions)"
+    )
+    return format_table(rows, title=title)
+
+
+def format_tenant_section(tenant_payload: dict, top: int = 8) -> str:
+    """The ``/tenants`` payload as a report table (top spenders first)."""
+    pct = lambda x: f"{100.0 * x:.1f}%"  # noqa: E731
+    rows = [
+        {
+            "tenant": usage["tenant"],
+            "runs": usage["runs"],
+            "dollars": round(usage["dollars"], 2),
+            "machine_s": round(
+                usage["spot_seconds"] + usage["on_demand_seconds"], 1
+            ),
+            "idle_s": round(usage["idle_seconds"], 1),
+            "compliance": pct(usage["slo_compliance"]),
+        }
+        for usage in tenant_payload.get("tenants", [])[:top]
+    ]
+    totals = tenant_payload.get("totals")
+    if totals:
+        rows.append(
+            {
+                "tenant": "TOTAL",
+                "runs": totals["runs"],
+                "dollars": round(totals["dollars"], 2),
+                "machine_s": round(
+                    totals["spot_seconds"] + totals["on_demand_seconds"], 1
+                ),
+                "idle_s": round(totals["idle_seconds"], 1),
+                "compliance": pct(totals["slo_compliance"]),
+            }
+        )
+    if not rows:
+        rows = [{"tenant": "-", "runs": 0, "dollars": 0.0,
+                 "machine_s": 0.0, "idle_s": 0.0, "compliance": "-"}]
+    shown = len(tenant_payload.get("tenants", []))
+    title = f"Per-tenant cost attribution (top {min(top, shown)} of {shown})"
+    return format_table(rows, title=title)

@@ -16,6 +16,11 @@ execution lifecycle and the planning service:
 * **TracingObserver** (:mod:`repro.obs.observer`) — the lifecycle hook
   plug-in that emits the spans, sibling of
   :class:`~repro.exec.observers.MetricsObserver`.
+* **Live operations** — windowed aggregation over the registry
+  (:mod:`repro.obs.window`), declarative burn-rate SLOs
+  (:mod:`repro.obs.slo`), per-tenant cost attribution
+  (:mod:`repro.obs.attribution`) and the scrapeable HTTP endpoint
+  serving all of it (:mod:`repro.obs.server`).
 
 Tracing is off by default: the installed tracer is the no-op
 :data:`NULL_TRACER` and every instrumentation site guards on one
@@ -30,6 +35,7 @@ effectively free.  Enable with :func:`enable` or scope it::
 """
 
 from repro.obs import export, report
+from repro.obs.attribution import CostLedger, LedgerObserver, TenantUsage
 from repro.obs.events import TimelineEvent
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
@@ -37,8 +43,17 @@ from repro.obs.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    estimate_quantile,
 )
 from repro.obs.observer import TracingObserver
+from repro.obs.server import OpsServer
+from repro.obs.slo import (
+    BurnRateRule,
+    SloAlert,
+    SloMonitor,
+    SloObjective,
+    default_slos,
+)
 from repro.obs.state import (
     disable,
     enable,
@@ -47,22 +62,42 @@ from repro.obs.state import (
     tracing,
 )
 from repro.obs.trace import NULL_TRACER, NullTracer, Span, SpanRecord, Tracer
+from repro.obs.window import (
+    DEFAULT_WINDOWS,
+    SamplerThread,
+    WindowConfig,
+    WindowedAggregator,
+)
 
 __all__ = [
+    "BurnRateRule",
+    "CostLedger",
     "Counter",
     "DEFAULT_BUCKETS",
+    "DEFAULT_WINDOWS",
     "Gauge",
     "Histogram",
+    "LedgerObserver",
     "MetricsRegistry",
     "NULL_TRACER",
     "NullTracer",
+    "OpsServer",
+    "SamplerThread",
+    "SloAlert",
+    "SloMonitor",
+    "SloObjective",
     "Span",
     "SpanRecord",
+    "TenantUsage",
     "TimelineEvent",
     "Tracer",
     "TracingObserver",
+    "WindowConfig",
+    "WindowedAggregator",
+    "default_slos",
     "disable",
     "enable",
+    "estimate_quantile",
     "export",
     "get_metrics",
     "get_tracer",

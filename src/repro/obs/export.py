@@ -240,9 +240,7 @@ def _parse_sample(line: str, lineno: int) -> tuple[str, tuple, float]:
             key, raw = part.split("=", 1)
             if len(raw) < 2 or raw[0] != '"' or raw[-1] != '"':
                 raise ValueError(f"line {lineno}: unquoted label value {part!r}")
-            value = raw[1:-1].replace(r"\n", "\n").replace(r"\"", '"')
-            value = value.replace("\\\\", "\\")
-            labels.append((key.strip(), value))
+            labels.append((key.strip(), _unescape_label(raw[1:-1])))
         labels = tuple(sorted(labels))
     else:
         name, _, value_text = line.partition(" ")
@@ -256,6 +254,32 @@ def _parse_sample(line: str, lineno: int) -> tuple[str, tuple, float]:
     except ValueError as exc:
         raise ValueError(f"line {lineno}: malformed value {value_text!r}") from exc
     return name, labels, value
+
+
+def _unescape_label(raw: str) -> str:
+    """Decode a quoted label value, consuming escapes left to right.
+
+    Sequential ``str.replace`` passes mis-decode values whose escaped
+    backslash precedes an ``n`` (``\\\\n`` — a literal backslash then the
+    letter n — must not become backslash + newline).
+    """
+    out: list[str] = []
+    i = 0
+    while i < len(raw):
+        ch = raw[i]
+        if ch == "\\" and i + 1 < len(raw):
+            nxt = raw[i + 1]
+            if nxt == "n":
+                out.append("\n")
+                i += 2
+                continue
+            if nxt in ('"', "\\"):
+                out.append(nxt)
+                i += 2
+                continue
+        out.append(ch)
+        i += 1
+    return "".join(out)
 
 
 def _split_labels(text: str):

@@ -157,6 +157,34 @@ class TracingObserver:
         if not self._off():
             self._tr.event("forced-handover", t=t, config=config.name)
 
+    def on_rescale(self, t: float, config, decision) -> None:
+        """Record a mid-run rescale decision."""
+        if self._off():
+            return
+        self._tr.event(
+            "rescale",
+            t=t,
+            config=config.name,
+            target=decision.target.name,
+            reason=decision.reason,
+        )
+        self._mx.counter("rescales_total", "Mid-run rescale decisions").inc(
+            1, tenant=self.tenant, reason=decision.reason
+        )
+
+    def on_bill(self, t: float, config, seconds: float, dollars: float) -> None:
+        """Record one billed interval (live spend)."""
+        if self._off():
+            return
+        self._mx.counter(
+            "billed_dollars_total", "Dollars billed across runs"
+        ).inc(dollars, tenant=self.tenant, config=config.name)
+        self._mx.counter(
+            "billed_machine_seconds_total",
+            "Machine-seconds billed across runs",
+        ).inc(seconds * config.num_workers, tenant=self.tenant,
+              segment="spot" if config.is_transient else "on_demand")
+
     def on_finish(self, t: float, result) -> None:
         """Close the run span with the headline outcome attributes."""
         if self._off():

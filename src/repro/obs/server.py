@@ -1,0 +1,204 @@
+"""Scrapeable ops endpoint over the live observability objects.
+
+:class:`OpsServer` wraps a stdlib ``ThreadingHTTPServer`` (no external
+dependencies, like everything in :mod:`repro.obs`) and serves four
+read-only views of a running process:
+
+* ``GET /metrics`` — the registry rendered in Prometheus text
+  exposition format (:meth:`~repro.obs.metrics.MetricsRegistry.to_prometheus`),
+  directly scrapeable and round-trippable through
+  :func:`~repro.obs.export.parse_prometheus`;
+* ``GET /health`` — liveness JSON (uptime, sample count, evaluation
+  count) — cheap enough for an orchestrator probe;
+* ``GET /slo`` — the :class:`~repro.obs.slo.SloMonitor` payload:
+  per-objective windowed observations, burn rates, firing rules;
+* ``GET /tenants`` — the :class:`~repro.obs.attribution.CostLedger`
+  payload: per-tenant dollars, machine-seconds, compliance.
+
+Every handler reads immutable snapshots produced by the aggregation
+layer, so scrapes never block instrumentation writers.  The server
+optionally owns the :class:`~repro.obs.window.SamplerThread` driving the
+aggregator + SLO evaluation, making ``with OpsServer(...) as srv:`` the
+one-liner that turns any instrumented run into an observable one.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+
+class OpsServer:
+    """Background HTTP server exposing metrics, SLOs and attribution.
+
+    Args:
+        registry: :class:`~repro.obs.metrics.MetricsRegistry` behind
+            ``/metrics``.
+        aggregator: optional :class:`~repro.obs.window.WindowedAggregator`
+            (enables sampler ownership and the health sample count).
+        monitor: optional :class:`~repro.obs.slo.SloMonitor` behind
+            ``/slo``.
+        ledger: optional :class:`~repro.obs.attribution.CostLedger`
+            behind ``/tenants``.
+        host / port: bind address; port 0 picks an ephemeral port
+            (read it back from :attr:`port` after :meth:`start`).
+        sample_interval: when set (seconds) and *aggregator* is given,
+            the server runs its own
+            :class:`~repro.obs.window.SamplerThread` sampling at this
+            interval and evaluating *monitor* after each sample.
+    """
+
+    def __init__(
+        self,
+        registry,
+        aggregator=None,
+        monitor=None,
+        ledger=None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        sample_interval: float | None = None,
+    ):
+        self.registry = registry
+        self.aggregator = aggregator
+        self.monitor = monitor
+        self.ledger = ledger
+        self.host = host
+        self.port = port
+        self.sample_interval = sample_interval
+        self._httpd: ThreadingHTTPServer | None = None
+        self._thread: threading.Thread | None = None
+        self._sampler = None
+        self._started_at: float | None = None
+
+    # ------------------------------------------------------------------
+    def start(self) -> "OpsServer":
+        """Bind, start serving in a daemon thread; idempotent."""
+        if self._httpd is not None:
+            return self
+        self._httpd = ThreadingHTTPServer(
+            (self.host, self.port), _make_handler(self)
+        )
+        self._httpd.daemon_threads = True
+        self.port = self._httpd.server_address[1]
+        self._started_at = time.monotonic()
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="obs-ops-server",
+            daemon=True,
+        )
+        self._thread.start()
+        if self.sample_interval and self.aggregator is not None:
+            from repro.obs.window import SamplerThread
+
+            callbacks = (self.monitor.evaluate,) if self.monitor else ()
+            self._sampler = SamplerThread(
+                self.aggregator, self.sample_interval, on_sample=callbacks
+            ).start()
+        return self
+
+    def close(self) -> None:
+        """Stop the sampler (if owned) and the HTTP server."""
+        if self._sampler is not None:
+            self._sampler.close()
+            self._sampler = None
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+            self._httpd = None
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None
+
+    def __enter__(self) -> "OpsServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    @property
+    def url(self) -> str:
+        """Base URL of the running server."""
+        return f"http://{self.host}:{self.port}"
+
+    # ------------------------------------------------------------------
+    # Payloads (handler calls these; also handy for in-process tests)
+    # ------------------------------------------------------------------
+    def metrics_text(self) -> str:
+        return self.registry.to_prometheus()
+
+    def health(self) -> dict:
+        up = (
+            time.monotonic() - self._started_at
+            if self._started_at is not None
+            else 0.0
+        )
+        payload = {"status": "ok", "uptime_s": round(up, 3)}
+        if self.aggregator is not None:
+            payload["samples"] = self.aggregator.samples_taken
+        if self.monitor is not None:
+            payload["slo_evaluations"] = self.monitor.evaluations
+        return payload
+
+    def slo(self) -> dict | None:
+        return self.monitor.as_dict() if self.monitor is not None else None
+
+    def tenants(self) -> dict | None:
+        return self.ledger.as_dict() if self.ledger is not None else None
+
+
+_PROM_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _make_handler(server: OpsServer):
+    """A handler class closed over the owning :class:`OpsServer`."""
+
+    class Handler(BaseHTTPRequestHandler):
+        # One ops scrape should never spam the run's stderr.
+        def log_message(self, format, *args):  # noqa: A002 - stdlib name
+            pass
+
+        def _send(self, status: int, content_type: str, body: bytes) -> None:
+            self.send_response(status)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def _send_json(self, payload, status: int = 200) -> None:
+            body = json.dumps(payload, sort_keys=True, indent=1).encode()
+            self._send(status, "application/json; charset=utf-8", body)
+
+        def do_GET(self):  # noqa: N802 - stdlib hook name
+            path = self.path.split("?", 1)[0].rstrip("/") or "/"
+            try:
+                if path == "/metrics":
+                    self._send(
+                        200, _PROM_CONTENT_TYPE, server.metrics_text().encode()
+                    )
+                elif path == "/health" or path == "/":
+                    self._send_json(server.health())
+                elif path == "/slo":
+                    payload = server.slo()
+                    if payload is None:
+                        self._send_json({"error": "no SLO monitor"}, 404)
+                    else:
+                        self._send_json(payload)
+                elif path == "/tenants":
+                    payload = server.tenants()
+                    if payload is None:
+                        self._send_json({"error": "no cost ledger"}, 404)
+                    else:
+                        self._send_json(payload)
+                else:
+                    self._send_json({"error": f"unknown path {path}"}, 404)
+            except BrokenPipeError:
+                pass  # scraper hung up mid-response
+            except Exception as exc:  # pragma: no cover - defensive
+                try:
+                    self._send_json({"error": repr(exc)}, 500)
+                except Exception:
+                    pass
+
+    return Handler

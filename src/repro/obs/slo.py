@@ -1,0 +1,375 @@
+"""Declarative SLOs with multi-window burn-rate evaluation.
+
+Hourglass's objective function *is* an SLO: finish by the deadline at
+minimum cost.  This module watches the live side of that promise — the
+quantities the paper optimizes, read from the windowed aggregates of
+:mod:`repro.obs.window`:
+
+* **ratio** objectives — a bad-event counter over a total-event counter
+  (deadline-miss rate, admission-reject rate), with an error budget
+  ``target``;
+* **quantile** objectives — a histogram quantile under a threshold
+  (plan-latency p99);
+* **gauge** objectives — an instantaneous level under a threshold (pool
+  saturation).
+
+Evaluation uses the SRE multi-window burn-rate pattern: the *burn rate*
+is how fast the error budget is being consumed relative to the target
+(``observed / target``), and one :class:`BurnRateRule` fires only when
+the burn exceeds its factor over **both** a long and a short window —
+the long window proves the problem is sustained, the short window proves
+it is still happening.  Transitions emit structured :class:`SloAlert`
+events through the process tracer (``slo.alert`` / ``slo.resolved``)
+and are counted in ``slo_alerts_total``; the current burn rate of every
+objective is exported as the ``slo_burn_rate`` gauge so the monitor's
+own outputs are scrapeable like any other series.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+from repro.obs.state import get_metrics, get_tracer
+
+#: Default rule pairs over the default 10 s / 1 m / 5 m windows: the
+#: fast-burn rule pages on an acute problem, the slow-burn rule tickets
+#: a simmering one (factors scaled down from the SRE workbook's 1 h/6 h
+#: rules to the harness's minutes-long horizon).
+DEFAULT_RULES = (
+    ("page", 60.0, 10.0, 6.0),
+    ("ticket", 300.0, 60.0, 2.0),
+)
+
+
+@dataclass(frozen=True)
+class BurnRateRule:
+    """One multi-window burn-rate alerting rule.
+
+    Attributes:
+        severity: label for the alert this rule raises.
+        long_window_s / short_window_s: both windows must burn above
+            *factor* for the rule to fire.
+        factor: budget-consumption multiple that trips the rule (1.0 =
+            exactly on budget).
+    """
+
+    severity: str
+    long_window_s: float
+    short_window_s: float
+    factor: float
+
+    def __post_init__(self):
+        if self.short_window_s >= self.long_window_s:
+            raise ValueError("short window must be shorter than the long window")
+        if self.factor <= 0:
+            raise ValueError("factor must be positive")
+
+
+@dataclass(frozen=True)
+class SloObjective:
+    """One declarative objective evaluated against windowed aggregates.
+
+    Attributes:
+        name: stable identifier (``deadline_miss_rate``).
+        kind: ``"ratio"`` | ``"quantile"`` | ``"gauge"``.
+        target: the objective bound — max acceptable bad/total ratio,
+            quantile seconds, or gauge level.  Burn rate is
+            ``observed / target``.
+        metric: series the observation reads (total counter for ratio,
+            histogram for quantile, gauge for gauge objectives).
+        bad_metric / bad_labels: the bad-event counter for ratio
+            objectives (defaults to *metric* filtered by *bad_labels*).
+        labels: label filter on *metric*.
+        q: the quantile for quantile objectives.
+        divisor_metric / divisor_labels: optional gauge the observation
+            is divided by (pool saturation = queue depth / pool size).
+        rules: burn-rate rules (default :data:`DEFAULT_RULES`).
+        description: one-line human explanation.
+    """
+
+    name: str
+    kind: str
+    target: float
+    metric: str
+    bad_metric: str = ""
+    bad_labels: dict | None = None
+    labels: dict | None = None
+    q: float = 0.99
+    divisor_metric: str = ""
+    divisor_labels: dict | None = None
+    rules: tuple = tuple(
+        BurnRateRule(sev, lw, sw, f) for sev, lw, sw, f in DEFAULT_RULES
+    )
+    description: str = ""
+
+    def __post_init__(self):
+        if self.kind not in ("ratio", "quantile", "gauge"):
+            raise ValueError(f"unknown SLO kind {self.kind!r}")
+        if self.target <= 0:
+            raise ValueError("target must be positive")
+        if self.kind == "ratio" and not (self.bad_metric or self.bad_labels):
+            raise ValueError("ratio objectives need bad_metric or bad_labels")
+
+    # ------------------------------------------------------------------
+    def observe(self, aggregator, window_s: float) -> float:
+        """The objective's measured value over one window."""
+        if self.kind == "ratio":
+            return aggregator.ratio(
+                self.bad_metric or self.metric,
+                self.metric,
+                window_s,
+                bad_labels=self.bad_labels,
+                total_labels=self.labels,
+            )
+        if self.kind == "quantile":
+            return aggregator.quantile(self.metric, self.q, window_s, self.labels)
+        value = aggregator.value(self.metric, self.labels)
+        if self.divisor_metric:
+            divisor = aggregator.value(self.divisor_metric, self.divisor_labels)
+            return value / divisor if divisor > 0 else 0.0
+        return value
+
+    def burn_rate(self, aggregator, window_s: float) -> float:
+        """Budget-consumption multiple over one window."""
+        return self.observe(aggregator, window_s) / self.target
+
+
+@dataclass(frozen=True)
+class SloAlert:
+    """One burn-rate rule transition (fired or resolved)."""
+
+    objective: str
+    severity: str
+    firing: bool
+    long_window_s: float
+    short_window_s: float
+    long_burn: float
+    short_burn: float
+    factor: float
+    t: float
+
+
+@dataclass
+class SloStatus:
+    """One objective's full evaluation at one instant."""
+
+    objective: SloObjective
+    windows: dict[float, float] = field(default_factory=dict)
+    burn_rates: dict[float, float] = field(default_factory=dict)
+    firing: tuple[str, ...] = ()
+
+    def as_dict(self) -> dict:
+        obj = self.objective
+        return {
+            "name": obj.name,
+            "kind": obj.kind,
+            "target": obj.target,
+            "description": obj.description,
+            "windows": {str(w): v for w, v in sorted(self.windows.items())},
+            "burn_rate": {str(w): b for w, b in sorted(self.burn_rates.items())},
+            "firing": list(self.firing),
+        }
+
+
+class SloMonitor:
+    """Evaluates objectives against one aggregator; emits alerts.
+
+    Args:
+        aggregator: the :class:`~repro.obs.window.WindowedAggregator`
+            the observations read from.
+        objectives: the :class:`SloObjective` set (see
+            :func:`default_slos` for the stock four).
+        tracer: explicit tracer for ``slo.alert`` events (default: the
+            process tracer, resolved per evaluation so enabling tracing
+            mid-session works).
+        metrics: registry for ``slo_burn_rate`` / ``slo_alerts_total``
+            (default: the process registry).  Maintained unconditionally
+            — SLO evaluations are rare enough that gating them behind
+            the tracer would only hide the compliance story.
+    """
+
+    def __init__(self, aggregator, objectives, tracer=None, metrics=None):
+        self.aggregator = aggregator
+        self.objectives = tuple(objectives)
+        names = [o.name for o in self.objectives]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate objective names: {names}")
+        self.tracer = tracer
+        self.metrics = metrics
+        self._lock = threading.Lock()
+        self._firing: set[tuple[str, str]] = set()
+        self._statuses: tuple[SloStatus, ...] = ()
+        self._alerts: list[SloAlert] = []
+        self._evaluations = 0
+
+    # ------------------------------------------------------------------
+    def evaluate(self, now: float | None = None) -> tuple[SloStatus, ...]:
+        """One full evaluation pass; returns every objective's status.
+
+        Rule transitions (not-firing -> firing and back) emit one
+        :class:`SloAlert` each, as a tracer event and an
+        ``slo_alerts_total`` count; steady state is silent.
+        """
+        tracer = self.tracer if self.tracer is not None else get_tracer()
+        metrics = self.metrics if self.metrics is not None else get_metrics()
+        t = now if now is not None else self.aggregator.clock()
+        burn_gauge = metrics.gauge(
+            "slo_burn_rate", "Error-budget burn multiple per objective/window"
+        )
+        statuses = []
+        alerts: list[SloAlert] = []
+        with self._lock:
+            for objective in self.objectives:
+                windows: dict[float, float] = {}
+                burns: dict[float, float] = {}
+                for window in self.aggregator.config.windows:
+                    observed = objective.observe(self.aggregator, window)
+                    windows[window] = observed
+                    burns[window] = observed / objective.target
+                    burn_gauge.set(
+                        burns[window], slo=objective.name, window=f"{window:g}s"
+                    )
+                firing = []
+                for rule in objective.rules:
+                    long_burn = burns.get(
+                        rule.long_window_s,
+                        objective.burn_rate(self.aggregator, rule.long_window_s),
+                    )
+                    short_burn = burns.get(
+                        rule.short_window_s,
+                        objective.burn_rate(self.aggregator, rule.short_window_s),
+                    )
+                    now_firing = (
+                        long_burn > rule.factor and short_burn > rule.factor
+                    )
+                    key = (objective.name, rule.severity)
+                    was_firing = key in self._firing
+                    if now_firing:
+                        firing.append(rule.severity)
+                        self._firing.add(key)
+                    else:
+                        self._firing.discard(key)
+                    if now_firing != was_firing:
+                        alerts.append(
+                            SloAlert(
+                                objective=objective.name,
+                                severity=rule.severity,
+                                firing=now_firing,
+                                long_window_s=rule.long_window_s,
+                                short_window_s=rule.short_window_s,
+                                long_burn=long_burn,
+                                short_burn=short_burn,
+                                factor=rule.factor,
+                                t=t,
+                            )
+                        )
+                statuses.append(
+                    SloStatus(
+                        objective=objective,
+                        windows=windows,
+                        burn_rates=burns,
+                        firing=tuple(firing),
+                    )
+                )
+            self._statuses = tuple(statuses)
+            self._evaluations += 1
+            self._alerts.extend(alerts)
+        for alert in alerts:
+            metrics.counter(
+                "slo_alerts_total", "Burn-rate rule transitions by objective"
+            ).inc(
+                1,
+                slo=alert.objective,
+                severity=alert.severity,
+                firing=alert.firing,
+            )
+            if tracer.enabled:
+                tracer.event(
+                    "slo.alert" if alert.firing else "slo.resolved",
+                    slo=alert.objective,
+                    severity=alert.severity,
+                    long_burn=alert.long_burn,
+                    short_burn=alert.short_burn,
+                    factor=alert.factor,
+                )
+        return self._statuses
+
+    # ------------------------------------------------------------------
+    def statuses(self) -> tuple[SloStatus, ...]:
+        """The most recent evaluation's statuses (empty before any)."""
+        with self._lock:
+            return self._statuses
+
+    def alerts(self) -> tuple[SloAlert, ...]:
+        """Every rule transition observed so far, in order."""
+        with self._lock:
+            return tuple(self._alerts)
+
+    @property
+    def evaluations(self) -> int:
+        """Evaluation passes completed."""
+        with self._lock:
+            return self._evaluations
+
+    def as_dict(self) -> dict:
+        """The ``/slo`` endpoint payload."""
+        with self._lock:
+            return {
+                "evaluations": self._evaluations,
+                "alerts": len(self._alerts),
+                "firing": sorted(
+                    f"{name}:{severity}" for name, severity in self._firing
+                ),
+                "objectives": [status.as_dict() for status in self._statuses],
+            }
+
+
+def default_slos(
+    miss_rate_target: float = 0.05,
+    plan_p99_target_s: float = 0.5,
+    reject_rate_target: float = 0.05,
+    saturation_target: float = 8.0,
+) -> tuple[SloObjective, ...]:
+    """The stock objectives over the harness/service series.
+
+    The deadline-miss objective reads ``load_runs_total`` summed across
+    strategies, so whichever policy a run serves — Hourglass's DP or a
+    baseline like the Alourani & Kshemkalyani no-fault-tolerance
+    provisioner (``--strategy spoton``) — its live miss burn rate is
+    what the monitor exposes.
+    """
+    return (
+        SloObjective(
+            name="deadline_miss_rate",
+            kind="ratio",
+            target=miss_rate_target,
+            metric="load_runs_total",
+            bad_labels={"outcome": "missed"},
+            description="Executed runs finishing past their deadline",
+        ),
+        SloObjective(
+            name="plan_latency_p99",
+            kind="quantile",
+            target=plan_p99_target_s,
+            metric="load_plan_latency_seconds",
+            q=0.99,
+            description="99th-percentile wall-clock planning latency (s)",
+        ),
+        SloObjective(
+            name="admission_reject_rate",
+            kind="ratio",
+            target=reject_rate_target,
+            metric="load_jobs_total",
+            bad_labels={"outcome": "rejected_overload"},
+            description="Offered jobs shed by admission control",
+        ),
+        SloObjective(
+            name="pool_saturation",
+            kind="gauge",
+            target=saturation_target,
+            metric="svc_pool_queue_depth",
+            divisor_metric="svc_pool_size",
+            description="Plan requests in system per planner worker",
+        ),
+    )

@@ -307,6 +307,10 @@ class PlanFrontend:
             ):  # unplanned slot (should not happen): surface loudly
                 outcome = PlanError(f"dispatch returned no outcome: {outcome!r}")
             entry.resolve(outcome)
+        # Per-batch flush keeps svc_pool_requests_total current for
+        # mid-run scrapes at batch (not per-request) granularity; runs
+        # on the loop thread, so it cannot race plan()'s increments.
+        self._flush_request_metrics()
 
     # ------------------------------------------------------------------
     # Introspection

@@ -222,6 +222,14 @@ class PlannerPool:
     def _gauge(self, name: str, help_: str, value: float) -> None:
         self.metrics.gauge(name, help_).set(value)
 
+    def _publish_saturation_locked(self) -> None:
+        """Export in-system load per worker (the SLO saturation signal)."""
+        self._gauge(
+            "svc_pool_saturation",
+            "Plan requests in system per planner worker",
+            self._in_system / self._size if self._size else float(self._in_system),
+        )
+
     def _resize_locked(self, target: int, record: bool = True) -> None:
         """Move the pool to *target* workers (caller holds ``_lock``)."""
         if target == self._size:
@@ -249,6 +257,7 @@ class PlannerPool:
         self._size_peak = max(self._size_peak, target)
         self._timeline.append((time.perf_counter(), target))
         self._gauge("svc_pool_size", "Current planner-pool worker count", target)
+        self._publish_saturation_locked()
 
     def _autoscale_locked(self) -> None:
         if self._closed:
@@ -300,6 +309,7 @@ class PlannerPool:
                 "Plan requests dispatched but not yet completed",
                 self._in_system,
             )
+            self._publish_saturation_locked()
             self._autoscale_locked()
         return future
 
@@ -323,6 +333,7 @@ class PlannerPool:
                     "Plan requests dispatched but not yet completed",
                     self._in_system,
                 )
+                self._publish_saturation_locked()
                 self._autoscale_locked()
 
     # ------------------------------------------------------------------
